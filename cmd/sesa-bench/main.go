@@ -1,0 +1,288 @@
+// Command sesa-bench regenerates every table and figure of the paper's
+// evaluation (Section VI) on the simulated machine:
+//
+//	sesa-bench -table 1        Table I   (atomicity taxonomy, via the checker)
+//	sesa-bench -table 2        Table II  (Figure 5 outcomes under x86 vs 370)
+//	sesa-bench -table 3        Table III (machine configuration)
+//	sesa-bench -table 4        Table IV  (characterization under 370-SLFSoS-key)
+//	sesa-bench -fig 1 ... 5    litmus allowed sets + simulator witnesses
+//	sesa-bench -fig 9          dispatch-stall breakdown for the five models
+//	sesa-bench -fig 10         normalized execution time for the five models
+//
+// The -suite, -n and -seed flags select the workloads and scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sesa"
+	"sesa/internal/report"
+)
+
+var (
+	n      = flag.Int("n", 50_000, "instructions per core")
+	seed   = flag.Uint64("seed", 42, "trace seed")
+	suite  = flag.String("suite", "both", "parallel, sequential or both")
+	format = flag.String("format", "text", "output format for -table 4 and -fig 10: text, csv or json")
+)
+
+func main() {
+	table := flag.Int("table", 0, "regenerate a table (1-4)")
+	fig := flag.Int("fig", 0, "regenerate a figure (1-5, 9, 10)")
+	flag.Parse()
+
+	switch {
+	case *table == 1:
+		tableI()
+	case *table == 2:
+		tableII()
+	case *table == 3:
+		tableIII()
+	case *table == 4:
+		forSuites(tableIV)
+	case *fig >= 1 && *fig <= 5:
+		figLitmus(*fig)
+	case *fig == 9:
+		forSuites(fig9)
+	case *fig == 10:
+		forSuites(fig10)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func forSuites(f func(sesa.Suite)) {
+	if *suite == "parallel" || *suite == "both" {
+		f(sesa.ParallelSuite)
+	}
+	if *suite == "sequential" || *suite == "both" {
+		f(sesa.SequentialSuite)
+	}
+}
+
+func profiles(s sesa.Suite) []sesa.Profile {
+	if s == sesa.ParallelSuite {
+		return sesa.ParallelProfiles()
+	}
+	return sesa.SequentialProfiles()
+}
+
+// tableI verifies the atomicity taxonomy on the litmus suite: SC ⊆ 370 ⊆
+// x86, with the inclusions strict where store atomicity is observable.
+func tableI() {
+	fmt.Println("Table I: atomicity of store operations")
+	fmt.Println("  370   store atomicity (MCA):     a core may not see its own stores early")
+	fmt.Println("  x86   write atomicity (rMCA):    read-own-write-early allowed")
+	fmt.Println("  PC    non-write-atomic (non-MCA): not modelled (write-atomic MESI assumed)")
+	fmt.Println()
+	fmt.Println("checker verification over the litmus suite:")
+	for _, t := range sesa.LitmusTests() {
+		sc := sesa.Enumerate(t.Prog, sesa.CheckerSC)
+		m370 := sesa.Enumerate(t.Prog, sesa.Checker370TSO)
+		x86 := sesa.Enumerate(t.Prog, sesa.CheckerX86TSO)
+		subset := func(a, b sesa.OutcomeSet) bool {
+			for o := range a {
+				if !b.Contains(o) {
+					return false
+				}
+			}
+			return true
+		}
+		fmt.Printf("  %-10s SC %d ⊆ 370 %d: %v   370 %d ⊆ x86 %d: %v\n",
+			t.Name, len(sc), len(m370), subset(sc, m370), len(m370), len(x86), subset(m370, x86))
+	}
+}
+
+func tableII() {
+	t, _ := sesa.GetLitmus("fig5")
+	fmt.Println("Table II: all possible outcomes for the Figure 5 code")
+	fmt.Println("(c1x/c1y = Core1's view of [x],[y]; c2y/c2x = Core2's view)")
+	x86 := sesa.Enumerate(t.Prog, sesa.CheckerX86TSO)
+	m370 := sesa.Enumerate(t.Prog, sesa.Checker370TSO)
+	for _, o := range x86.Sorted() {
+		tag := "common (store-atomic and non-store-atomic)"
+		if !m370.Contains(o) {
+			tag = "NON-STORE-ATOMIC ONLY: disagreement in order"
+		}
+		fmt.Printf("  %-40s %s\n", o, tag)
+	}
+	fmt.Printf("x86 outcomes: %d, store-atomic 370 outcomes: %d\n", len(x86), len(m370))
+}
+
+func tableIII() {
+	c := sesa.DefaultConfig(sesa.SLFSoSKey370)
+	fmt.Println("Table III: system configuration (Skylake-like)")
+	fmt.Printf("  cores                      %d\n", c.Cores)
+	fmt.Printf("  issue/retire width         %d\n", c.Core.Width)
+	fmt.Printf("  reorder buffer             %d entries\n", c.Core.ROBEntries)
+	fmt.Printf("  load queue                 %d entries\n", c.Core.LQEntries)
+	fmt.Printf("  store queue + store buffer %d entries\n", c.Core.SQEntries)
+	fmt.Printf("  L1 D-cache                 %dKB, %d ways, %d hit cycles\n",
+		c.Mem.L1D.SizeBytes>>10, c.Mem.L1D.Ways, c.Mem.L1D.HitCycles)
+	fmt.Printf("  L2 cache                   %dKB, %d ways, %d hit cycles\n",
+		c.Mem.L2.SizeBytes>>10, c.Mem.L2.Ways, c.Mem.L2.HitCycles)
+	fmt.Printf("  shared L3                  %d banks x %dMB, %d ways, %d hit cycles\n",
+		c.Mem.L3Banks, c.Mem.L3.SizeBytes>>20, c.Mem.L3.Ways, c.Mem.L3.HitCycles)
+	fmt.Printf("  directory                  %d ways, %.0f%% L2 coverage\n",
+		c.Mem.DirectoryWays, c.Mem.DirectoryCoverage*100)
+	fmt.Printf("  memory access              %d cycles\n", c.Mem.MemCycles)
+	fmt.Printf("  NoC                        fully connected, %d/%d flits, %d cycles/switch\n",
+		c.NoC.ControlFlits, c.NoC.DataFlits, c.NoC.SwitchLatency)
+	fmt.Printf("  SLFSoS-key extra storage   %d bits\n", sesa.GateStorageBits(c))
+}
+
+func tableIV(s sesa.Suite) {
+	fmtSel, err := report.ParseFormat(*format)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	table := report.CharacterizationTable{
+		Title: fmt.Sprintf("Table IV (%s): characterization under 370-SLFSoS-key, %d instructions/core, seed %d",
+			s, *n, *seed),
+	}
+	for _, p := range profiles(s) {
+		ch, _, err := sesa.RunBenchmark(p.Name, sesa.SLFSoSKey370, *n, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		table.Rows = append(table.Rows, ch)
+	}
+	switch fmtSel {
+	case report.CSV:
+		if err := table.WriteCSV(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	case report.JSON:
+		if err := table.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Println(table.Title)
+	fmt.Printf("%-18s %12s %8s %8s %10s %12s %8s\n",
+		"benchmark", "instructions", "loads%", "fwd%", "gate-stall%", "avg-stall-cyc", "reexec%")
+	var loads, fwd, gate, stallCyc, reexec []float64
+	for _, ch := range table.Rows {
+		fmt.Printf("%-18s %12d %8.3f %8.3f %10.3f %12.3f %8.3f\n",
+			ch.Benchmark, ch.Instructions, ch.LoadsPct, ch.ForwardedPct,
+			ch.GateStallsPct, ch.AvgStallCycles, ch.ReexecutedPct)
+		loads = append(loads, ch.LoadsPct)
+		fwd = append(fwd, ch.ForwardedPct)
+		gate = append(gate, ch.GateStallsPct)
+		stallCyc = append(stallCyc, ch.AvgStallCycles)
+		reexec = append(reexec, ch.ReexecutedPct)
+	}
+	fmt.Printf("%-18s %12s %8.3f %8.3f %10.3f %12.3f %8.3f\n",
+		"Average", "", sesa.Mean(loads), sesa.Mean(fwd), sesa.Mean(gate),
+		sesa.Mean(stallCyc), sesa.Mean(reexec))
+}
+
+func figLitmus(fig int) {
+	name := map[int]string{1: "mp", 2: "n6", 3: "iriw", 4: "fig4", 5: "fig5"}[fig]
+	t, _ := sesa.GetLitmus(name)
+	fmt.Printf("Figure %d (%s): %s\n", fig, t.Name, t.Doc)
+	fmt.Printf("  allowed (x86-TSO): %v\n", t.Allowed(sesa.CheckerX86TSO).Sorted())
+	fmt.Printf("  allowed (370-TSO): %v\n", t.Allowed(sesa.Checker370TSO).Sorted())
+	variant := sesa.WithSBPressure(t, 3)
+	for _, model := range sesa.AllModels() {
+		res, err := sesa.RunLitmus(variant, model, 10, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  %-15s witnessed %q: %v\n", model, t.Interesting, res.Observed(t.Interesting))
+	}
+}
+
+func fig9(s sesa.Suite) {
+	fmt.Printf("Figure 9 (%s): %% cycles stalled on full ROB / LQ / SQ-SB, %d instructions/core\n", s, *n)
+	fmt.Printf("%-18s", "benchmark")
+	for _, m := range sesa.AllModels() {
+		fmt.Printf(" %20s", m)
+	}
+	fmt.Println()
+	for _, p := range profiles(s) {
+		fmt.Printf("%-18s", p.Name)
+		for _, model := range sesa.AllModels() {
+			ch, _, err := sesa.RunBenchmark(p.Name, model, *n, *seed)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("  %5.1f/%5.1f/%5.1f ", ch.StallROBPct, ch.StallLQPct, ch.StallSQPct)
+		}
+		fmt.Println()
+	}
+}
+
+func fig10(s sesa.Suite) {
+	fmtSel, err := report.ParseFormat(*format)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	table := report.ComparisonTable{
+		Title:      fmt.Sprintf("Figure 10 (%s): execution time normalized to x86, %d instructions/core", s, *n),
+		Normalized: map[string][]float64{},
+	}
+	for _, m := range sesa.AllModels() {
+		table.Models = append(table.Models, m.String())
+	}
+	for _, p := range profiles(s) {
+		table.Benchmarks = append(table.Benchmarks, p.Name)
+		var base uint64
+		for _, model := range sesa.AllModels() {
+			ch, _, err := sesa.RunBenchmark(p.Name, model, *n, *seed)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if model == sesa.X86 {
+				base = ch.Cycles
+			}
+			table.Normalized[model.String()] = append(table.Normalized[model.String()],
+				float64(ch.Cycles)/float64(base))
+		}
+	}
+	switch fmtSel {
+	case report.CSV:
+		if err := table.WriteCSV(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	case report.JSON:
+		if err := table.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Println(table.Title)
+	fmt.Printf("%-18s", "benchmark")
+	for _, m := range table.Models {
+		fmt.Printf(" %15s", m)
+	}
+	fmt.Println()
+	for i, b := range table.Benchmarks {
+		fmt.Printf("%-18s", b)
+		for _, m := range table.Models {
+			fmt.Printf(" %15.3f", table.Normalized[m][i])
+		}
+		fmt.Println()
+	}
+	gm := table.GeoMeans()
+	fmt.Printf("%-18s", "GeoMean")
+	for _, m := range table.Models {
+		fmt.Printf(" %15.3f", gm[m])
+	}
+	fmt.Println()
+}

@@ -1,0 +1,92 @@
+// Command sesa-litmus runs the paper's litmus tests on the cycle-accurate
+// simulator and cross-checks every observed outcome against the exhaustive
+// operational model (the litmus7-on-hardware workflow of Section III, with
+// the simulator standing in for the Intel parts).
+//
+// Usage:
+//
+//	sesa-litmus [-test mp|n6|iriw|fig5|...] [-model all|x86|...] [-iters N]
+//	            [-pressure N] [-seed S]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"sesa"
+)
+
+func main() {
+	testName := flag.String("test", "", "litmus test name (default: all)")
+	modelName := flag.String("model", "all", "machine model (all, x86, 370-NoSpec, 370-SLFSpec, 370-SLFSoS, 370-SLFSoS-key)")
+	iters := flag.Int("iters", 20, "simulator iterations per test and model")
+	pressure := flag.Int("pressure", 3, "store-buffer pressure stores per forwarding thread (0 disables)")
+	seed := flag.Uint64("seed", 1, "base seed for timing exploration")
+	flag.Parse()
+
+	tests := sesa.LitmusTests()
+	if *testName != "" {
+		t, err := sesa.GetLitmus(*testName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		tests = []sesa.LitmusTest{t}
+	}
+
+	models := sesa.AllModels()
+	if *modelName != "all" {
+		models = nil
+		for _, m := range sesa.AllModels() {
+			if m.String() == *modelName {
+				models = []sesa.Model{m}
+			}
+		}
+		if models == nil {
+			fmt.Fprintf(os.Stderr, "unknown model %q\n", *modelName)
+			os.Exit(1)
+		}
+	}
+
+	exit := 0
+	for _, test := range tests {
+		fmt.Printf("=== %s — %s\n", test.Name, test.Doc)
+		fmt.Printf("    allowed (x86-TSO):  %v\n", test.Allowed(sesa.CheckerX86TSO).Sorted())
+		fmt.Printf("    allowed (370-TSO):  %v\n", test.Allowed(sesa.Checker370TSO).Sorted())
+		fmt.Printf("    highlighted:        %q\n", test.Interesting)
+
+		variant := test
+		if *pressure > 0 {
+			variant = sesa.WithSBPressure(test, *pressure)
+		}
+		for _, model := range models {
+			res, err := sesa.RunLitmus(variant, model, *iters, *seed)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			allowed := test.Allowed(sesa.SimCheckerModel(model))
+			var keys []string
+			for o := range res.Outcomes {
+				keys = append(keys, string(o))
+			}
+			sort.Strings(keys)
+			fmt.Printf("    %-15s:", model)
+			for _, k := range keys {
+				marker := ""
+				if !allowed.Contains(sesa.Outcome(k)) {
+					marker = " ILLEGAL!"
+					exit = 1
+				}
+				if sesa.Outcome(k) == test.Interesting {
+					marker += " <- highlighted"
+				}
+				fmt.Printf("  [%s x%d%s]", k, res.Outcomes[sesa.Outcome(k)], marker)
+			}
+			fmt.Println()
+		}
+	}
+	os.Exit(exit)
+}

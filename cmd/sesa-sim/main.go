@@ -1,0 +1,128 @@
+// Command sesa-sim runs one Table IV benchmark on the simulated multicore
+// under one (or all) of the five consistency-model implementations, and
+// prints the characterization row, the stall breakdown and the memory-system
+// statistics.
+//
+// Usage:
+//
+//	sesa-sim -bench barnes [-model all] [-n 100000] [-seed 42]
+//	sesa-sim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sesa"
+)
+
+func main() {
+	bench := flag.String("bench", "barnes", "benchmark name (see -list)")
+	modelName := flag.String("model", "all", "machine model or 'all'")
+	n := flag.Int("n", 100_000, "instructions per core")
+	seed := flag.Uint64("seed", 42, "trace generation seed")
+	list := flag.Bool("list", false, "list benchmarks and exit")
+	dump := flag.String("dump", "", "write the generated workload to this trace file and exit")
+	traceIn := flag.String("trace", "", "run this trace file instead of a generated benchmark")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("parallel (SPLASH-3 + PARSEC, 8 cores):")
+		for _, p := range sesa.ParallelProfiles() {
+			fmt.Printf("  %-18s loads %6.2f%%  forwarded %6.2f%%\n", p.Name, p.LoadPct, p.ForwardPct)
+		}
+		fmt.Println("sequential (SPECrate 2017, 1 core):")
+		for _, p := range sesa.SequentialProfiles() {
+			fmt.Printf("  %-18s loads %6.2f%%  forwarded %6.2f%%\n", p.Name, p.LoadPct, p.ForwardPct)
+		}
+		return
+	}
+
+	models := sesa.AllModels()
+	if *modelName != "all" {
+		models = nil
+		for _, m := range sesa.AllModels() {
+			if m.String() == *modelName {
+				models = []sesa.Model{m}
+			}
+		}
+		if models == nil {
+			fmt.Fprintf(os.Stderr, "unknown model %q\n", *modelName)
+			os.Exit(1)
+		}
+	}
+
+	if *dump != "" {
+		p, ok := sesa.LookupProfile(*bench)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", *bench)
+			os.Exit(1)
+		}
+		w := sesa.BuildWorkload(p, sesa.DefaultConfig(models[0]).Cores, *n, *seed)
+		f, err := os.Create(*dump)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := sesa.WritePrograms(f, w.Programs); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d threads to %s\n", len(w.Programs), *dump)
+		return
+	}
+
+	var replay []sesa.Program
+	if *traceIn != "" {
+		f, err := os.Open(*traceIn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		replay, err = sesa.ReadPrograms(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	var base uint64
+	for _, model := range models {
+		var ch sesa.Characterization
+		var st *sesa.Stats
+		var err error
+		if replay != nil {
+			cfg := sesa.DefaultConfig(model)
+			if len(replay) > cfg.Cores {
+				cfg.Cores = len(replay)
+			}
+			w := sesa.Workload{Name: *traceIn, Programs: replay}
+			st, err = sesa.RunWorkload(model, cfg, w, 1_000_000_000)
+			if err == nil {
+				ch = st.Characterize()
+			}
+		} else {
+			ch, st, err = sesa.RunBenchmark(*bench, model, *n, *seed)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if base == 0 {
+			base = ch.Cycles
+		}
+		t := st.Total()
+		fmt.Printf("== %s on %s\n", *bench, model)
+		fmt.Printf("   cycles %d (%.3fx of first model)   IPC %.3f\n",
+			ch.Cycles, float64(ch.Cycles)/float64(base), ch.IPC)
+		fmt.Printf("   loads %.3f%%   forwarded %.3f%%   gate stalls %.3f%% (avg %.1f cyc)   SA re-executed %.3f%%\n",
+			ch.LoadsPct, ch.ForwardedPct, ch.GateStallsPct, ch.AvgStallCycles, ch.ReexecutedPct)
+		fmt.Printf("   dispatch stalls: ROB %.1f%%  LQ %.1f%%  SQ/SB %.1f%%\n",
+			ch.StallROBPct, ch.StallLQPct, ch.StallSQPct)
+		fmt.Printf("   squashes %d (SA %d, dependence %d)   branch mispredicts %d\n",
+			t.Squashes, t.SASquashes, t.DepSquashes, t.BranchMispredicts)
+	}
+}

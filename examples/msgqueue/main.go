@@ -1,0 +1,98 @@
+// Message queue: a hand-built producer/consumer workload, the class of code
+// the paper's introduction motivates. The producer writes payload slots and
+// publishes sequence numbers; the consumer polls the sequence numbers and
+// reads the payloads. Fences mark the publication points, as portable code
+// on either memory model would.
+//
+// The example shows that the program's final state is identical under all
+// five machines (the models differ in performance, not correctness for
+// properly synchronized code) and compares their cycle counts.
+//
+//	go run ./examples/msgqueue
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sesa"
+)
+
+const (
+	slots    = 16
+	messages = 200
+	payload  = uint64(0x1_0000) // payload ring
+	seqs     = uint64(0x2_0000) // sequence numbers, one line apart
+)
+
+func producer() sesa.Program {
+	var p sesa.Program
+	for m := 0; m < messages; m++ {
+		slot := uint64(m % slots)
+		// Write the payload, fence, publish the sequence number. The
+		// local re-read of the payload is the store-to-load forwarding
+		// idiom the paper is about.
+		p = append(p,
+			sesa.StoreImm(payload+slot*8, uint64(m)*10+7),
+			sesa.Load(1, payload+slot*8), // SLF load: producer-side check
+			sesa.Fence(),
+			sesa.StoreImm(seqs+slot*64, uint64(m+1)),
+		)
+	}
+	return p
+}
+
+func consumer() sesa.Program {
+	var p sesa.Program
+	for m := 0; m < messages; m++ {
+		slot := uint64(m % slots)
+		// A trace cannot spin, so the consumer reads the sequence number
+		// (ordering only) and then the payload.
+		p = append(p,
+			sesa.Load(2, seqs+slot*64),
+			sesa.Load(3, payload+slot*8),
+			sesa.ALU(4, 4, 3), // accumulate payloads
+		)
+	}
+	return p
+}
+
+func main() {
+	var baseline uint64
+	for _, model := range sesa.AllModels() {
+		sys, err := sesa.NewSystem(sesa.SkylakeConfig(2, model), "msgqueue")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sys.LoadProgram(0, producer()); err != nil {
+			log.Fatal(err)
+		}
+		if err := sys.LoadProgram(1, consumer()); err != nil {
+			log.Fatal(err)
+		}
+		if err := sys.Run(10_000_000); err != nil {
+			log.Fatal(err)
+		}
+		if baseline == 0 {
+			baseline = sys.Cycles()
+		}
+		st := sys.Stats().Total()
+
+		// Correctness: every slot holds the payload of the last message
+		// written to it.
+		for s := uint64(0); s < slots; s++ {
+			last := uint64(messages - 1)
+			for last%slots != s {
+				last--
+			}
+			if got := sys.ReadMemory(payload + s*8); got != last*10+7 {
+				log.Fatalf("%s: slot %d = %d, want %d", model, s, got, last*10+7)
+			}
+		}
+		fmt.Printf("%-15s cycles=%6d (%.3fx)  forwarded=%3d  gate closes=%4d  squashes=%d\n",
+			model, sys.Cycles(), float64(sys.Cycles())/float64(baseline),
+			st.SLFLoads, st.GateCloses, st.Squashes)
+	}
+	fmt.Println("\nAll five machines produce the identical memory image; they differ")
+	fmt.Println("only in how much the store-atomicity guarantee costs.")
+}

@@ -1,0 +1,3 @@
+module sesa
+
+go 1.22

@@ -1,0 +1,533 @@
+// Package axiomatic is a second, independent formulation of the memory
+// models: the Alglave-style axiomatic framework the paper uses to explain
+// n6 (Section III-A, "if store-to-load forwarding (rfi) enforces memory
+// order, we have a cycle").
+//
+// A candidate execution assigns every read a writer (rf) and every location
+// a total order of its writes (ws, write serialization). The execution is
+// allowed when
+//
+//   - uniproc: po-loc ∪ rf ∪ ws ∪ fr is acyclic per location (coherence);
+//
+//   - atomicity: for an RMW, no other write to the location is ws-between
+//     the read's source and the RMW's write;
+//
+//   - ghb: ppo ∪ ws ∪ fr ∪ grf is acyclic, where ppo is program order
+//     minus store→load pairs (TSO) plus fence-restored edges, and grf is
+//     the set of rf edges the model makes globally visible:
+//
+//     x86-TSO: only external rf (rfe) — a core may read its own
+//     store early (read-own-write-early, rMCA);
+//     370-TSO: all rf, including internal (rfi) — store atomicity:
+//     the forwarded load is ordered after its store's
+//     insertion, exactly the paper's cycle in Figure 2;
+//     SC:      all rf, with ppo = full program order.
+//
+// Enumerate explores every candidate execution of a (straight-line) litmus
+// program and returns the reachable final outcomes, rendered identically to
+// the operational checker so the two engines can be compared outcome for
+// outcome.
+package axiomatic
+
+import (
+	"fmt"
+
+	"sesa/internal/checker"
+	"sesa/internal/isa"
+)
+
+// Model selects the axiomatic model.
+type Model int
+
+// The three axiomatic models, mirroring the operational ones.
+const (
+	X86TSO Model = iota
+	TSO370
+	SC
+)
+
+var modelNames = [...]string{"x86-TSO(ax)", "370-TSO(ax)", "SC(ax)"}
+
+// String names the model.
+func (m Model) String() string {
+	if int(m) < len(modelNames) {
+		return modelNames[m]
+	}
+	return fmt.Sprintf("model(%d)", int(m))
+}
+
+// evKind classifies events.
+type evKind uint8
+
+const (
+	evRead evKind = iota
+	evWrite
+	evFence
+)
+
+// event is one memory event of a candidate execution.
+type event struct {
+	id     int
+	thread int
+	kind   evKind
+	addr   uint64
+	// reg is the destination register for reads.
+	reg isa.Reg
+	// val is the value written (writes; computed during evaluation) or
+	// read (reads; derived from rf).
+	val uint64
+	// rmwPair links the read and write halves of an atomic RMW.
+	rmwPair int // event id of the partner, or -1
+	rmwAdd  uint64
+}
+
+// execution is the event graph of a program.
+type execution struct {
+	prog    checker.Program
+	events  []*event
+	byAddr  map[uint64][]*event // writes per address
+	reads   []*event
+	threads [][]*event // events in program order per thread
+}
+
+// buildExecution lowers a straight-line program to events. Branches are not
+// supported (litmus programs are branch-free); ALU ops are evaluated during
+// value propagation, not represented as events.
+func buildExecution(p checker.Program) (*execution, error) {
+	x := &execution{
+		prog:   p,
+		byAddr: make(map[uint64][]*event),
+	}
+	id := 0
+	for ti, th := range p.Threads {
+		var evs []*event
+		for _, in := range th {
+			switch in.Op {
+			case isa.OpLoad:
+				e := &event{id: id, thread: ti, kind: evRead, addr: in.Addr,
+					reg: in.Dst, rmwPair: -1}
+				id++
+				evs = append(evs, e)
+			case isa.OpStore:
+				e := &event{id: id, thread: ti, kind: evWrite, addr: in.Addr,
+					rmwPair: -1}
+				id++
+				evs = append(evs, e)
+			case isa.OpFence:
+				e := &event{id: id, thread: ti, kind: evFence, rmwPair: -1}
+				id++
+				evs = append(evs, e)
+			case isa.OpRMW:
+				r := &event{id: id, thread: ti, kind: evRead, addr: in.Addr,
+					reg: in.Dst}
+				id++
+				w := &event{id: id, thread: ti, kind: evWrite, addr: in.Addr,
+					rmwAdd: in.Imm}
+				id++
+				r.rmwPair = w.id
+				w.rmwPair = r.id
+				evs = append(evs, r, w)
+			case isa.OpALU, isa.OpNop:
+				// evaluated in value propagation / no event
+			default:
+				return nil, fmt.Errorf("axiomatic: unsupported op %v", in.Op)
+			}
+		}
+		x.threads = append(x.threads, evs)
+	}
+	for _, th := range x.threads {
+		for _, e := range th {
+			x.events = append(x.events, e)
+			if e.kind == evWrite {
+				x.byAddr[e.addr] = append(x.byAddr[e.addr], e)
+			}
+			if e.kind == evRead {
+				x.reads = append(x.reads, e)
+			}
+		}
+	}
+	return x, nil
+}
+
+// candidate is one rf + ws assignment. rf[readID] = write event id, or -1
+// for the initial value. ws[addr] is a permutation of the writes to addr.
+type candidate struct {
+	rf map[int]int
+	ws map[uint64][]*event
+}
+
+// Enumerate returns all outcomes of allowed candidate executions under m.
+func Enumerate(p checker.Program, m Model) (checker.OutcomeSet, error) {
+	x, err := buildExecution(p)
+	if err != nil {
+		return nil, err
+	}
+	out := make(checker.OutcomeSet)
+
+	rfChoices := make([]int, len(x.reads))
+	var assignRF func(i int)
+	assignRF = func(i int) {
+		if i == len(x.reads) {
+			x.enumerateWS(m, rfChoices, out)
+			return
+		}
+		r := x.reads[i]
+		rfChoices[i] = -1 // initial value
+		assignRF(i + 1)
+		for _, w := range x.byAddr[r.addr] {
+			if w.id == r.rmwPair {
+				continue // an RMW read cannot read its own write
+			}
+			rfChoices[i] = w.id
+			assignRF(i + 1)
+		}
+	}
+	assignRF(0)
+	return out, nil
+}
+
+// enumerateWS enumerates write serializations for the fixed rf choice and
+// records allowed outcomes.
+func (x *execution) enumerateWS(m Model, rfChoices []int, out checker.OutcomeSet) {
+	rf := make(map[int]int, len(rfChoices))
+	for i, r := range x.reads {
+		rf[r.id] = rfChoices[i]
+	}
+	addrs := make([]uint64, 0, len(x.byAddr))
+	for a := range x.byAddr {
+		addrs = append(addrs, a)
+	}
+	var rec func(ai int, c *candidate)
+	rec = func(ai int, c *candidate) {
+		if ai == len(addrs) {
+			x.tryCandidate(m, c, out)
+			return
+		}
+		a := addrs[ai]
+		writes := x.byAddr[a]
+		perm := make([]*event, len(writes))
+		var permute func(used uint, depth int)
+		permute = func(used uint, depth int) {
+			if depth == len(writes) {
+				c.ws[a] = append([]*event(nil), perm...)
+				rec(ai+1, c)
+				return
+			}
+			for i, w := range writes {
+				if used&(1<<uint(i)) != 0 {
+					continue
+				}
+				perm[depth] = w
+				permute(used|1<<uint(i), depth+1)
+			}
+		}
+		permute(0, 0)
+	}
+	rec(0, &candidate{rf: rf, ws: make(map[uint64][]*event)})
+}
+
+// tryCandidate evaluates values, checks the axioms and records the outcome.
+func (x *execution) tryCandidate(m Model, c *candidate, out checker.OutcomeSet) {
+	if !x.propagateValues(c) {
+		return
+	}
+	if !x.uniproc(c) || !x.atomicity(c) {
+		return
+	}
+	if !x.ghbAcyclic(m, c) {
+		return
+	}
+	out[x.outcome(c)] = true
+}
+
+// propagateValues computes read and write values from the rf assignment and
+// the threads' register dataflow; it iterates to a fixed point (cross-thread
+// value cycles converge or the candidate is rejected).
+func (x *execution) propagateValues(c *candidate) bool {
+	for iter := 0; iter < len(x.events)+2; iter++ {
+		changed := false
+		for ti, th := range x.prog.Threads {
+			var regs [isa.NumRegs]uint64
+			evIdx := 0
+			evs := x.threads[ti]
+			for _, in := range th {
+				switch in.Op {
+				case isa.OpLoad:
+					e := evs[evIdx]
+					evIdx++
+					var v uint64
+					if w := c.rf[e.id]; w >= 0 {
+						v = x.events[w].val
+					} else {
+						v = x.prog.Init[e.addr]
+					}
+					if e.val != v {
+						e.val = v
+						changed = true
+					}
+					if e.reg != isa.RegNone {
+						regs[e.reg] = v
+					}
+				case isa.OpStore:
+					e := evs[evIdx]
+					evIdx++
+					v := in.Imm
+					if in.Src1 != isa.RegNone {
+						v = regs[in.Src1]
+					}
+					if e.val != v {
+						e.val = v
+						changed = true
+					}
+				case isa.OpRMW:
+					r, w := evs[evIdx], evs[evIdx+1]
+					evIdx += 2
+					var v uint64
+					if src := c.rf[r.id]; src >= 0 {
+						v = x.events[src].val
+					} else {
+						v = x.prog.Init[r.addr]
+					}
+					if r.val != v {
+						r.val = v
+						changed = true
+					}
+					if r.reg != isa.RegNone {
+						regs[r.reg] = v
+					}
+					if w.val != v+w.rmwAdd {
+						w.val = v + w.rmwAdd
+						changed = true
+					}
+				case isa.OpFence:
+					evIdx++
+				case isa.OpALU:
+					var a, b uint64
+					if in.Src1 != isa.RegNone {
+						a = regs[in.Src1]
+					}
+					if in.Src2 != isa.RegNone {
+						b = regs[in.Src2]
+					}
+					if in.Dst != isa.RegNone {
+						regs[in.Dst] = a + b + in.Imm
+					}
+				}
+			}
+		}
+		if !changed {
+			return true
+		}
+	}
+	return false // value cycle did not converge
+}
+
+// wsPos returns the position of write w in its location's serialization.
+func (c *candidate) wsPos(x *execution, w *event) int {
+	for i, e := range c.ws[w.addr] {
+		if e == w {
+			return i
+		}
+	}
+	return -1
+}
+
+// frTargets returns, for read r, the writes that are from-read successors:
+// every write to r's location ws-after r's source.
+func (x *execution) frTargets(c *candidate, r *event) []*event {
+	order := c.ws[r.addr]
+	src := c.rf[r.id]
+	start := 0
+	if src >= 0 {
+		start = c.wsPos(x, x.events[src]) + 1
+	}
+	return order[start:]
+}
+
+// uniproc checks per-location coherence: po-loc ∪ rf ∪ ws ∪ fr acyclic. For
+// straight-line TSO-class programs it suffices to check the standard
+// per-location conditions directly.
+func (x *execution) uniproc(c *candidate) bool {
+	return x.acyclic(func(add func(a, b *event)) {
+		for _, th := range x.threads {
+			for i, e := range th {
+				if e.kind == evFence {
+					continue
+				}
+				for j := i + 1; j < len(th); j++ {
+					f := th[j]
+					if f.kind == evFence || f.addr != e.addr {
+						continue
+					}
+					add(e, f) // po-loc
+				}
+			}
+		}
+		x.comEdges(c, add)
+	})
+}
+
+// atomicity: for every RMW, no foreign write to the location sits ws-between
+// the read's source and the RMW's write.
+func (x *execution) atomicity(c *candidate) bool {
+	for _, r := range x.reads {
+		if r.rmwPair < 0 {
+			continue
+		}
+		w := x.events[r.rmwPair]
+		wPos := c.wsPos(x, w)
+		srcPos := -1
+		if src := c.rf[r.id]; src >= 0 {
+			srcPos = c.wsPos(x, x.events[src])
+		}
+		// The RMW's write must immediately follow the read's source.
+		if wPos != srcPos+1 {
+			return false
+		}
+	}
+	return true
+}
+
+// comEdges adds rf, ws and fr edges.
+func (x *execution) comEdges(c *candidate, add func(a, b *event)) {
+	for a := range x.byAddr {
+		order := c.ws[a]
+		for i := 0; i+1 < len(order); i++ {
+			add(order[i], order[i+1]) // ws
+		}
+	}
+	for _, r := range x.reads {
+		if src := c.rf[r.id]; src >= 0 {
+			add(x.events[src], r) // rf (used by uniproc; ghb filters)
+		}
+		for _, w := range x.frTargets(c, r) {
+			add(r, w) // fr
+		}
+	}
+}
+
+// ghbAcyclic checks the model's global-happens-before acyclicity.
+func (x *execution) ghbAcyclic(m Model, c *candidate) bool {
+	return x.acyclic(func(add func(a, b *event)) {
+		// ppo: program order minus store->load (TSO); SC keeps all.
+		for _, th := range x.threads {
+			for i, e := range th {
+				for j := i + 1; j < len(th); j++ {
+					f := th[j]
+					if e.kind == evFence || f.kind == evFence {
+						continue
+					}
+					// TSO relaxes only store->load - and never across
+					// an RMW: locked operations drain the store
+					// buffer, so both halves of an RMW order fully
+					// (as in the operational model, where an RMW runs
+					// with an empty SB and writes memory directly).
+					relaxed := m != SC && e.kind == evWrite && f.kind == evRead &&
+						e.rmwPair < 0 && f.rmwPair < 0
+					if relaxed && !x.fenceBetween(th, i, j) {
+						continue
+					}
+					add(e, f)
+				}
+			}
+		}
+		// ws and fr are always global.
+		for a := range x.byAddr {
+			order := c.ws[a]
+			for i := 0; i+1 < len(order); i++ {
+				add(order[i], order[i+1])
+			}
+		}
+		for _, r := range x.reads {
+			for _, w := range x.frTargets(c, r) {
+				add(r, w)
+			}
+		}
+		// grf: which rf edges are globally ordering.
+		for _, r := range x.reads {
+			src := c.rf[r.id]
+			if src < 0 {
+				continue
+			}
+			w := x.events[src]
+			if w.thread != r.thread || m != X86TSO {
+				// rfe always; rfi only when the model enforces
+				// store atomicity (370, SC) — the paper's Figure 2
+				// cycle.
+				add(w, r)
+			}
+		}
+	})
+}
+
+// fenceBetween reports whether a fence separates indices i and j in th.
+func (x *execution) fenceBetween(th []*event, i, j int) bool {
+	for k := i + 1; k < j; k++ {
+		if th[k].kind == evFence {
+			return true
+		}
+	}
+	return false
+}
+
+// acyclic builds the edge set via the callback and checks for cycles.
+func (x *execution) acyclic(build func(add func(a, b *event))) bool {
+	n := len(x.events)
+	adj := make([][]int, n)
+	build(func(a, b *event) {
+		adj[a.id] = append(adj[a.id], b.id)
+	})
+	state := make([]uint8, n) // 0 unvisited, 1 in stack, 2 done
+	var dfs func(v int) bool
+	dfs = func(v int) bool {
+		state[v] = 1
+		for _, w := range adj[v] {
+			switch state[w] {
+			case 1:
+				return false
+			case 0:
+				if !dfs(w) {
+					return false
+				}
+			}
+		}
+		state[v] = 2
+		return true
+	}
+	for v := 0; v < n; v++ {
+		if state[v] == 0 && !dfs(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// outcome renders the observables exactly like the operational checker.
+func (x *execution) outcome(c *candidate) checker.Outcome {
+	return checker.RenderOutcome(x.prog, axFinal{x: x, c: c})
+}
+
+type axFinal struct {
+	x *execution
+	c *candidate
+}
+
+func (f axFinal) Reg(thread int, r isa.Reg) uint64 {
+	// The register's final value is the last read (or RMW read) writing it
+	// in program order; litmus observables always come from loads.
+	var v uint64
+	for _, e := range f.x.threads[thread] {
+		if e.kind == evRead && e.reg == r {
+			v = e.val
+		}
+	}
+	return v
+}
+
+func (f axFinal) Mem(addr uint64) uint64 {
+	order := f.c.ws[addr]
+	if len(order) == 0 {
+		return f.x.prog.Init[addr]
+	}
+	return order[len(order)-1].val
+}

@@ -1,0 +1,261 @@
+// Package config holds the simulated system configuration.
+//
+// The default configuration reproduces Table III of the paper: an 8-core
+// Skylake-like out-of-order multicore with private L1/L2 caches, a shared
+// 8-bank L3, a directory-based write-atomic MESI protocol and a fully
+// connected interconnect.
+package config
+
+import "fmt"
+
+// Model selects the consistency-model implementation a core runs.
+type Model int
+
+// The five machines compared in Section VI of the paper.
+const (
+	// X86 is the non-store-atomic x86-TSO baseline: store-to-load
+	// forwarding from in-limbo stores is unrestricted and SLF loads retire
+	// freely. Load-load ordering uses in-window speculation.
+	X86 Model = iota
+	// NoSpec370 enforces store atomicity without speculation, as IBM 370:
+	// a load matching a store in the SQ/SB cannot perform until that store
+	// has written to the L1.
+	NoSpec370
+	// SLFSpec370 adapts in-window SC-like speculation to the 370 model:
+	// SLF loads perform speculatively but cannot retire until the store
+	// buffer drains, and are squashed by invalidations meanwhile.
+	SLFSpec370
+	// SLFSoS370 is the paper's source-of-speculation insight without the
+	// key: SLF loads retire freely, closing the retire gate behind them;
+	// the gate reopens when the store buffer becomes empty.
+	SLFSoS370
+	// SLFSoSKey370 is the paper's full proposal: the retiring SLF load
+	// locks the gate with the key of its forwarding store, and the gate
+	// reopens as soon as that particular store writes to the L1.
+	SLFSoSKey370
+)
+
+var modelNames = [...]string{
+	X86:          "x86",
+	NoSpec370:    "370-NoSpec",
+	SLFSpec370:   "370-SLFSpec",
+	SLFSoS370:    "370-SLFSoS",
+	SLFSoSKey370: "370-SLFSoS-key",
+}
+
+// String returns the paper's name for the model.
+func (m Model) String() string {
+	if int(m) >= 0 && int(m) < len(modelNames) {
+		return modelNames[m]
+	}
+	return fmt.Sprintf("model(%d)", int(m))
+}
+
+// StoreAtomic reports whether the model guarantees store atomicity (MCA).
+func (m Model) StoreAtomic() bool { return m != X86 }
+
+// Speculative reports whether the model uses speculation to enforce store
+// atomicity (as opposed to blanket enforcement or no enforcement).
+func (m Model) Speculative() bool {
+	return m == SLFSpec370 || m == SLFSoS370 || m == SLFSoSKey370
+}
+
+// AllModels lists the five evaluated machines in the paper's order.
+func AllModels() []Model {
+	return []Model{X86, NoSpec370, SLFSpec370, SLFSoS370, SLFSoSKey370}
+}
+
+// Core holds the out-of-order core parameters (Table III, top).
+type Core struct {
+	// Width is the dispatch and retire width in instructions per cycle.
+	Width int
+	// ROBEntries is the reorder-buffer capacity.
+	ROBEntries int
+	// LQEntries is the load-queue capacity.
+	LQEntries int
+	// SQEntries is the combined store-queue + store-buffer capacity. The
+	// SQ and SB are a single physical structure; the division is the
+	// retirement pointer (Section II-A).
+	SQEntries int
+	// BranchMispredictPenalty is the front-end redirect latency in cycles
+	// charged when a branch resolves mispredicted.
+	BranchMispredictPenalty int
+	// SquashRefillPenalty is charged when speculative loads are squashed
+	// by an invalidation and the pipeline refills from the squashed load.
+	SquashRefillPenalty int
+	// PipelineDepth is the minimum dispatch-to-retire latency in cycles,
+	// modelling the front-end and commit stages a real pipeline has
+	// between rename and retirement.
+	PipelineDepth int
+}
+
+// Cache holds the geometry and latency of one cache level.
+type Cache struct {
+	SizeBytes int
+	Ways      int
+	LineBytes int
+	HitCycles int
+}
+
+// Sets returns the number of sets of the cache.
+func (c Cache) Sets() int { return c.SizeBytes / (c.Ways * c.LineBytes) }
+
+// Memory holds the memory-hierarchy parameters (Table III, middle).
+type Memory struct {
+	L1D Cache
+	L2  Cache
+	// L3 describes one bank; there are L3Banks of them.
+	L3      Cache
+	L3Banks int
+	// DirectoryWays and DirectoryCoverage describe the sparse directory:
+	// coverage is a multiple of aggregate L2 capacity (2.0 = 200%).
+	DirectoryWays     int
+	DirectoryCoverage float64
+	// MemCycles is the DRAM access latency.
+	MemCycles int
+	// StridePrefetch enables the L1 stride prefetcher.
+	StridePrefetch bool
+	// RFOPrefetch enables read-for-ownership prefetching at store
+	// execution (as x86 cores do); disabling it is the ablation that
+	// exposes every store miss serially in the SB drain.
+	RFOPrefetch bool
+}
+
+// NoC holds the interconnect parameters (Table III, bottom). The topology is
+// fully connected, so every hop is one switch-to-switch traversal.
+type NoC struct {
+	SwitchLatency int // cycles per switch-to-switch hop
+	ControlFlits  int
+	DataFlits     int
+	FlitCycles    int // cycles of serialization per flit
+}
+
+// ControlLatency is the one-way latency of a control message.
+func (n NoC) ControlLatency() int { return n.SwitchLatency + n.ControlFlits*n.FlitCycles }
+
+// DataLatency is the one-way latency of a data message.
+func (n NoC) DataLatency() int { return n.SwitchLatency + n.DataFlits*n.FlitCycles }
+
+// Config is the full machine configuration.
+type Config struct {
+	Cores int
+	Model Model
+	Core  Core
+	Mem   Memory
+	NoC   NoC
+	// JitterSeed and Jitter add a deterministic pseudo-random 0..Jitter
+	// cycle perturbation to memory-system event latencies. Zero disables
+	// it. Litmus witness search uses it to explore interleavings.
+	Jitter     int
+	JitterSeed uint64
+}
+
+// Skylake returns the Table III configuration with the given core count and
+// consistency model.
+func Skylake(cores int, model Model) Config {
+	return Config{
+		Cores: cores,
+		Model: model,
+		Core: Core{
+			Width:                   5,
+			ROBEntries:              224,
+			LQEntries:               72,
+			SQEntries:               56,
+			BranchMispredictPenalty: 14,
+			SquashRefillPenalty:     12,
+			PipelineDepth:           12,
+		},
+		Mem: Memory{
+			L1D:               Cache{SizeBytes: 32 << 10, Ways: 8, LineBytes: 64, HitCycles: 4},
+			L2:                Cache{SizeBytes: 128 << 10, Ways: 8, LineBytes: 64, HitCycles: 12},
+			L3:                Cache{SizeBytes: 1 << 20, Ways: 8, LineBytes: 64, HitCycles: 35},
+			L3Banks:           8,
+			DirectoryWays:     8,
+			DirectoryCoverage: 2.0,
+			MemCycles:         160,
+			StridePrefetch:    true,
+			RFOPrefetch:       true,
+		},
+		NoC: NoC{SwitchLatency: 6, ControlFlits: 1, DataFlits: 5, FlitCycles: 1},
+	}
+}
+
+// Default returns the paper's evaluated machine: 8 Skylake-like cores.
+func Default(model Model) Config { return Skylake(8, model) }
+
+// Small returns a scaled-down configuration useful for fast unit tests: the
+// same structure with tiny caches so that evictions and misses are easy to
+// provoke.
+func Small(cores int, model Model) Config {
+	c := Skylake(cores, model)
+	c.Core.ROBEntries = 32
+	c.Core.LQEntries = 12
+	c.Core.SQEntries = 8
+	c.Mem.L1D = Cache{SizeBytes: 1 << 10, Ways: 2, LineBytes: 64, HitCycles: 4}
+	c.Mem.L2 = Cache{SizeBytes: 4 << 10, Ways: 2, LineBytes: 64, HitCycles: 12}
+	c.Mem.L3 = Cache{SizeBytes: 16 << 10, Ways: 4, LineBytes: 64, HitCycles: 35}
+	c.Mem.L3Banks = 2
+	return c
+}
+
+// Validate checks the configuration for structural consistency.
+func (c Config) Validate() error {
+	if c.Cores <= 0 {
+		return fmt.Errorf("config: cores must be positive, got %d", c.Cores)
+	}
+	if c.Model < X86 || c.Model > SLFSoSKey370 {
+		return fmt.Errorf("config: unknown model %d", int(c.Model))
+	}
+	if c.Core.Width <= 0 || c.Core.ROBEntries <= 0 || c.Core.LQEntries <= 0 || c.Core.SQEntries <= 0 {
+		return fmt.Errorf("config: core structure sizes must be positive: %+v", c.Core)
+	}
+	if c.Core.ROBEntries < c.Core.LQEntries && c.Core.ROBEntries < c.Core.SQEntries {
+		return fmt.Errorf("config: ROB (%d) smaller than both LQ (%d) and SQ (%d)",
+			c.Core.ROBEntries, c.Core.LQEntries, c.Core.SQEntries)
+	}
+	for _, cc := range []struct {
+		name string
+		c    Cache
+	}{{"L1D", c.Mem.L1D}, {"L2", c.Mem.L2}, {"L3", c.Mem.L3}} {
+		if cc.c.LineBytes == 0 || cc.c.Ways == 0 || cc.c.SizeBytes == 0 {
+			return fmt.Errorf("config: %s has zero geometry: %+v", cc.name, cc.c)
+		}
+		if cc.c.SizeBytes%(cc.c.Ways*cc.c.LineBytes) != 0 {
+			return fmt.Errorf("config: %s size %d not divisible by ways*line", cc.name, cc.c.SizeBytes)
+		}
+		if cc.c.Sets()&(cc.c.Sets()-1) != 0 {
+			return fmt.Errorf("config: %s sets %d not a power of two", cc.name, cc.c.Sets())
+		}
+	}
+	if c.Mem.L1D.LineBytes != c.Mem.L2.LineBytes || c.Mem.L2.LineBytes != c.Mem.L3.LineBytes {
+		return fmt.Errorf("config: mismatched line sizes")
+	}
+	if c.Mem.L3Banks <= 0 || c.Mem.L3Banks&(c.Mem.L3Banks-1) != 0 {
+		return fmt.Errorf("config: L3 banks must be a positive power of two, got %d", c.Mem.L3Banks)
+	}
+	if c.NoC.SwitchLatency < 0 || c.NoC.ControlFlits <= 0 || c.NoC.DataFlits <= 0 {
+		return fmt.Errorf("config: bad NoC parameters: %+v", c.NoC)
+	}
+	if c.Jitter < 0 {
+		return fmt.Errorf("config: jitter must be non-negative, got %d", c.Jitter)
+	}
+	return nil
+}
+
+// GateStorageBits returns the extra storage the SLFSoS-key mechanism needs
+// (Section IV-D): per-LQ-entry SLF bit + key, the retire-gate bit + key
+// register, and one sorting bit per SB entry.
+func (c Config) GateStorageBits() int {
+	keyBits := bitsFor(c.Core.SQEntries) + 1 // position bits + sorting bit
+	perLQ := 1 + keyBits                     // SLF bit + key copy
+	gate := 1 + keyBits                      // open/closed bit + key register
+	return c.Core.LQEntries*perLQ + gate + c.Core.SQEntries
+}
+
+func bitsFor(n int) int {
+	b := 0
+	for (1 << b) < n {
+		b++
+	}
+	return b
+}

@@ -1,0 +1,139 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSkylakeMatchesTableIII pins the default configuration to the paper's
+// Table III.
+func TestSkylakeMatchesTableIII(t *testing.T) {
+	c := Default(X86)
+	if c.Cores != 8 {
+		t.Errorf("cores = %d, want 8", c.Cores)
+	}
+	if c.Core.Width != 5 {
+		t.Errorf("width = %d, want 5", c.Core.Width)
+	}
+	if c.Core.ROBEntries != 224 || c.Core.LQEntries != 72 || c.Core.SQEntries != 56 {
+		t.Errorf("ROB/LQ/SQ = %d/%d/%d, want 224/72/56",
+			c.Core.ROBEntries, c.Core.LQEntries, c.Core.SQEntries)
+	}
+	if c.Mem.L1D.SizeBytes != 32<<10 || c.Mem.L1D.Ways != 8 || c.Mem.L1D.HitCycles != 4 {
+		t.Errorf("L1D = %+v", c.Mem.L1D)
+	}
+	if c.Mem.L2.SizeBytes != 128<<10 || c.Mem.L2.HitCycles != 12 {
+		t.Errorf("L2 = %+v", c.Mem.L2)
+	}
+	if c.Mem.L3.SizeBytes != 1<<20 || c.Mem.L3Banks != 8 || c.Mem.L3.HitCycles != 35 {
+		t.Errorf("L3 = %+v banks=%d", c.Mem.L3, c.Mem.L3Banks)
+	}
+	if c.Mem.DirectoryWays != 8 || c.Mem.DirectoryCoverage != 2.0 {
+		t.Errorf("directory = %d ways %.1f coverage", c.Mem.DirectoryWays, c.Mem.DirectoryCoverage)
+	}
+	if c.Mem.MemCycles != 160 {
+		t.Errorf("memory latency = %d, want 160", c.Mem.MemCycles)
+	}
+	if c.NoC.SwitchLatency != 6 || c.NoC.ControlFlits != 1 || c.NoC.DataFlits != 5 {
+		t.Errorf("NoC = %+v", c.NoC)
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("Table III config invalid: %v", err)
+	}
+}
+
+// TestGateStorageBits pins Section IV-D: 640 bits total for the Table III
+// machine (8 bits per LQ entry, 8 for the gate, one sorting bit per SB
+// entry).
+func TestGateStorageBits(t *testing.T) {
+	c := Default(SLFSoSKey370)
+	if got := c.GateStorageBits(); got != 640 {
+		t.Errorf("gate storage = %d bits, want 640", got)
+	}
+}
+
+func TestModelNamesAndPredicates(t *testing.T) {
+	want := map[Model]string{
+		X86:          "x86",
+		NoSpec370:    "370-NoSpec",
+		SLFSpec370:   "370-SLFSpec",
+		SLFSoS370:    "370-SLFSoS",
+		SLFSoSKey370: "370-SLFSoS-key",
+	}
+	for m, name := range want {
+		if m.String() != name {
+			t.Errorf("%d.String() = %q, want %q", int(m), m.String(), name)
+		}
+	}
+	if X86.StoreAtomic() {
+		t.Error("x86 is not store-atomic")
+	}
+	for _, m := range []Model{NoSpec370, SLFSpec370, SLFSoS370, SLFSoSKey370} {
+		if !m.StoreAtomic() {
+			t.Errorf("%s should be store-atomic", m)
+		}
+	}
+	if NoSpec370.Speculative() || X86.Speculative() {
+		t.Error("speculation misattributed")
+	}
+	if !SLFSoSKey370.Speculative() {
+		t.Error("SLFSoS-key is speculative")
+	}
+	if len(AllModels()) != 5 {
+		t.Error("five models expected")
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	mutations := []struct {
+		name string
+		f    func(*Config)
+	}{
+		{"zero cores", func(c *Config) { c.Cores = 0 }},
+		{"bad model", func(c *Config) { c.Model = Model(99) }},
+		{"zero width", func(c *Config) { c.Core.Width = 0 }},
+		{"zero rob", func(c *Config) { c.Core.ROBEntries = 0 }},
+		{"bad L1 geometry", func(c *Config) { c.Mem.L1D.SizeBytes = 1000 }},
+		{"line mismatch", func(c *Config) { c.Mem.L2.LineBytes = 32 }},
+		{"bad banks", func(c *Config) { c.Mem.L3Banks = 3 }},
+		{"negative jitter", func(c *Config) { c.Jitter = -1 }},
+	}
+	for _, m := range mutations {
+		c := Default(X86)
+		m.f(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", m.name)
+		}
+	}
+}
+
+func TestCacheSets(t *testing.T) {
+	c := Cache{SizeBytes: 32 << 10, Ways: 8, LineBytes: 64}
+	if c.Sets() != 64 {
+		t.Errorf("sets = %d, want 64", c.Sets())
+	}
+}
+
+func TestNoCLatencies(t *testing.T) {
+	n := Default(X86).NoC
+	if n.ControlLatency() != 7 {
+		t.Errorf("control latency = %d, want 7", n.ControlLatency())
+	}
+	if n.DataLatency() != 11 {
+		t.Errorf("data latency = %d, want 11", n.DataLatency())
+	}
+}
+
+func TestSmallConfigValid(t *testing.T) {
+	for _, m := range AllModels() {
+		if err := Small(2, m).Validate(); err != nil {
+			t.Errorf("Small(2, %s) invalid: %v", m, err)
+		}
+	}
+}
+
+func TestUnknownModelString(t *testing.T) {
+	if !strings.Contains(Model(42).String(), "42") {
+		t.Error("unknown model should render its number")
+	}
+}

@@ -1,0 +1,637 @@
+package core
+
+import (
+	"fmt"
+
+	"sesa/internal/config"
+	"sesa/internal/isa"
+	"sesa/internal/mem"
+	"sesa/internal/noc"
+	"sesa/internal/predictor"
+	"sesa/internal/stats"
+)
+
+// issueWidth caps how many instructions may begin execution per cycle
+// (functional units).
+const issueWidth = 8
+
+// Core is one out-of-order core. It is driven by Tick, once per cycle,
+// after the simulator has delivered the cycle's memory-system events.
+type Core struct {
+	id    int
+	cfg   config.Core
+	model config.Model
+	hier  *mem.Hierarchy
+	evq   *noc.EventQueue
+	st    *stats.Core
+
+	bp *predictor.TAGE
+	ss *predictor.StoreSet
+
+	l1Lat int
+
+	prog     isa.Program
+	fetchIdx int
+	dynSeq   uint64
+
+	rob []*entry
+	lq  []*entry
+	sq  *storeQueue
+
+	regProd [isa.NumRegs]*entry
+	regVal  [isa.NumRegs]uint64
+
+	gate Gate
+
+	// redirectUntil blocks dispatch during branch-redirect or
+	// squash-refill windows.
+	redirectUntil uint64
+	// haltBranch blocks dispatch until a mispredicted branch resolves.
+	haltBranch *entry
+	// lastFence is the youngest in-flight fence; younger loads record it
+	// as their issue barrier.
+	lastFence *entry
+	// drainInflight and lastDrainWhen pipeline the SB drain while keeping
+	// insertion in order.
+	drainInflight int
+	lastDrainWhen uint64
+
+	loadVals map[int]uint64
+
+	done bool
+}
+
+// New builds a core. The invalidation listener is registered with the
+// hierarchy so that remote invalidations and local evictions snoop the LQ.
+func New(id int, cfg config.Config, hier *mem.Hierarchy, evq *noc.EventQueue, st *stats.Core) *Core {
+	c := &Core{
+		id:       id,
+		cfg:      cfg.Core,
+		model:    cfg.Model,
+		hier:     hier,
+		evq:      evq,
+		st:       st,
+		bp:       predictor.NewTAGE(),
+		ss:       predictor.NewStoreSet(),
+		l1Lat:    cfg.Mem.L1D.HitCycles,
+		sq:       newStoreQueue(cfg.Core.SQEntries),
+		loadVals: make(map[int]uint64),
+	}
+	hier.SetInvalListener(id, c.onLineRemoved)
+	return c
+}
+
+// SetProgram installs the trace the core will execute. It must be called
+// before the first Tick.
+func (c *Core) SetProgram(p isa.Program) {
+	c.prog = p
+	c.fetchIdx = 0
+	c.done = len(p) == 0
+}
+
+// Done reports whether the core has retired its whole trace and drained its
+// store buffer.
+func (c *Core) Done() bool { return c.done }
+
+// RegValue returns the architectural value of r (valid once Done).
+func (c *Core) RegValue(r isa.Reg) uint64 { return c.regVal[r] }
+
+// LoadValue returns the retired value of the load at trace index idx.
+func (c *Core) LoadValue(idx int) (uint64, bool) {
+	v, ok := c.loadVals[idx]
+	return v, ok
+}
+
+// Gate exposes the retire gate for tests and introspection.
+func (c *Core) Gate() *Gate { return &c.gate }
+
+// Tick advances the core one cycle.
+func (c *Core) Tick(now uint64) {
+	if c.done {
+		return
+	}
+	c.st.Cycles++
+	c.retire(now)
+	c.drainSB(now)
+	c.issue(now)
+	c.dispatch(now)
+	if c.fetchIdx >= len(c.prog) && len(c.rob) == 0 && c.sq.empty() {
+		c.done = true
+	}
+}
+
+// ---- retire -----------------------------------------------------------------
+
+func (c *Core) retire(now uint64) {
+	for n := 0; n < c.cfg.Width && len(c.rob) > 0; n++ {
+		e := c.rob[0]
+		if e.status != stDone || now < e.minRetire {
+			return
+		}
+		if e.inst.Op == isa.OpFence && c.sq.anyOlderUnwritten(e.dynSeq) {
+			return
+		}
+		if e.isLoad() && c.loadRetireBlocked(e, now) {
+			return
+		}
+		c.doRetire(e)
+	}
+}
+
+// loadRetireBlocked applies the per-model retirement policy to the done
+// load at the ROB head and accounts gate stalls.
+func (c *Core) loadRetireBlocked(e *entry, now uint64) bool {
+	switch c.model {
+	case config.SLFSoS370, config.SLFSoSKey370:
+		if c.gate.Closed() {
+			if !e.gateStalled {
+				e.gateStalled = true
+				c.st.GateStalls++
+			}
+			c.st.GateStallCycles++
+			return true
+		}
+	case config.SLFSpec370:
+		// SC-like speculation: the SLF load itself is speculative and
+		// cannot retire until the store buffer empties.
+		if e.slf && c.sq.anyOlderUnwritten(e.dynSeq) {
+			if !e.gateStalled {
+				e.gateStalled = true
+				c.st.SLFSpecRetWaits++
+			}
+			c.st.GateStallCycles++
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Core) doRetire(e *entry) {
+	e.status = stRetired
+	c.rob = c.rob[1:]
+	c.st.RetiredInsts++
+
+	switch {
+	case e.isLoad():
+		if c.lq[0] != e {
+			panic("core: LQ head out of sync with ROB")
+		}
+		c.lq = c.lq[1:]
+		c.st.RetiredLoads++
+		if e.slf {
+			c.st.SLFLoads++
+		}
+		c.loadVals[e.traceIdx] = e.val
+		// The paper's mechanism: a retiring SLF load whose forwarding
+		// store is still in the SQ/SB closes the retire gate behind
+		// it (Fig. 8 step b). The presence check is the direct
+		// slot+sorting-bit compare.
+		if (c.model == config.SLFSoS370 || c.model == config.SLFSoSKey370) &&
+			e.slf && c.sq.present(e.slfKey) && !e.slfStore.writtenL1 {
+			if c.model == config.SLFSoSKey370 {
+				c.gate.CloseKeyed(e.slfKey)
+			} else {
+				c.gate.CloseUnkeyed()
+			}
+			c.st.GateCloses++
+		}
+	case e.isStore():
+		c.st.RetiredStores++
+		// The store stays in its SQ/SB slot; retirement moves it
+		// logically from the SQ to the SB.
+	case e.inst.Op == isa.OpRMW:
+		c.st.RetiredLoads++
+		c.st.RetiredStores++
+		c.loadVals[e.traceIdx] = e.val
+	}
+
+	if d := e.inst.Dst; d != isa.RegNone {
+		c.regVal[d] = e.val
+		if c.regProd[d] == e {
+			c.regProd[d] = nil
+		}
+	}
+	if c.lastFence == e {
+		// The fence stays the barrier pointer for younger loads; its
+		// retired status is what unblocks them.
+		_ = e
+	}
+}
+
+// ---- store buffer drain -------------------------------------------------------
+
+// maxDrainInflight bounds the overlapping store-buffer drains (the L1 store
+// commit pipeline depth).
+const maxDrainInflight = 8
+
+// drainSB issues L1 writes for retired stores at the SB head. Drains are
+// pipelined — several may be in flight — but TSO's in-order memory-order
+// insertion is preserved by chaining each store's completion to be no
+// earlier than its predecessor's (and at most one insertion per cycle).
+func (c *Core) drainSB(now uint64) {
+	c.sq.forEach(func(e *entry) {
+		if c.drainInflight >= maxDrainInflight {
+			return
+		}
+		if e.status != stRetired || e.draining || e.writtenL1 {
+			return
+		}
+		e.draining = true
+		c.drainInflight++
+		st := e
+		if st.inst.Op != isa.OpStore {
+			panic(fmt.Sprintf("core: non-store %v in SB", st.inst))
+		}
+		// In-order insertion, at most one store every other cycle (the
+		// L1 write port is shared with fills).
+		notBefore := uint64(0)
+		if c.lastDrainWhen > 0 {
+			notBefore = c.lastDrainWhen + 2
+		}
+		when := c.hier.Store(c.id, st.inst.Addr, st.inst.EffSize(), st.storeData(), now, notBefore, func(w uint64) {
+			c.storeWrote(st, w)
+		})
+		c.lastDrainWhen = when
+	})
+}
+
+// storeWrote runs at the store's memory-order insertion cycle: the store
+// leaves the SB and, if it forwarded to an SLF load that locked the retire
+// gate, reopens the gate with its key (Fig. 8 step c).
+func (c *Core) storeWrote(e *entry, when uint64) {
+	e.writtenL1 = true
+	c.drainInflight--
+	c.sq.free(e)
+	if c.gate.StoreWrote(e.sqKey) {
+		c.st.GateReopens++
+	}
+	// The keyless SLFSoS variant reopens only when the SB drains.
+	if c.model == config.SLFSoS370 && !c.sq.anyRetiredUnwritten() {
+		if c.gate.SBDrained() {
+			c.st.GateReopens++
+		}
+	}
+}
+
+// ---- issue / execute ----------------------------------------------------------
+
+func (c *Core) issue(now uint64) {
+	budget := issueWidth
+	for _, e := range c.rob {
+		if !e.alive {
+			continue
+		}
+		switch e.status {
+		case stIssued:
+			if !e.inflight && now >= e.execDone {
+				c.complete(e, now)
+			}
+		case stDispatched:
+			if budget == 0 {
+				continue
+			}
+			if c.tryIssue(e, now) {
+				budget--
+			}
+		}
+	}
+}
+
+// complete finishes a locally executing instruction (ALU, branch, or a
+// forwarded load whose latency elapsed).
+func (c *Core) complete(e *entry, now uint64) {
+	switch e.inst.Op {
+	case isa.OpALU:
+		e.val = e.srcVal(1) + e.srcVal(2) + e.inst.Imm
+	case isa.OpBranch:
+		if e.predWrong {
+			c.st.BranchMispredicts++
+			c.redirectUntil = maxU64(c.redirectUntil, now+uint64(c.cfg.BranchMispredictPenalty))
+			if c.haltBranch == e {
+				c.haltBranch = nil
+			}
+		}
+	case isa.OpLoad:
+		if e.slf {
+			e.val = forwardValue(e.slfStore, e)
+		}
+	}
+	e.status = stDone
+	e.execDone = now
+}
+
+// srcVal returns the current value of source operand n (1 or 2).
+func (e *entry) srcVal(n int) uint64 {
+	var prod *entry
+	var val uint64
+	var reg isa.Reg
+	if n == 1 {
+		prod, val, reg = e.src1Prod, e.src1Val, e.inst.Src1
+	} else {
+		prod, val, reg = e.src2Prod, e.src2Val, e.inst.Src2
+	}
+	if reg == isa.RegNone {
+		return 0
+	}
+	if prod != nil {
+		return prod.val
+	}
+	return val
+}
+
+// srcReady reports whether source operand n is available.
+func (e *entry) srcReady(n int) bool {
+	var prod *entry
+	var reg isa.Reg
+	if n == 1 {
+		prod, reg = e.src1Prod, e.inst.Src1
+	} else {
+		prod, reg = e.src2Prod, e.inst.Src2
+	}
+	return reg == isa.RegNone || prod == nil || prod.status >= stDone
+}
+
+func (c *Core) tryIssue(e *entry, now uint64) bool {
+	switch e.inst.Op {
+	case isa.OpALU:
+		if e.srcReady(1) && e.srcReady(2) {
+			e.status = stIssued
+			e.execDone = now + 1 + uint64(e.inst.Lat)
+			return true
+		}
+	case isa.OpBranch:
+		if e.srcReady(1) {
+			e.status = stIssued
+			e.execDone = now + 1
+			return true
+		}
+	case isa.OpNop:
+		e.status = stDone
+		e.execDone = now
+		return true
+	case isa.OpFence:
+		// Fences "execute" immediately; retirement enforces the drain.
+		e.status = stDone
+		e.execDone = now
+		return true
+	case isa.OpStore:
+		return c.tryIssueStore(e, now)
+	case isa.OpLoad:
+		return c.tryIssueLoad(e, now)
+	case isa.OpRMW:
+		return c.tryIssueRMW(e, now)
+	}
+	return false
+}
+
+func (c *Core) tryIssueStore(e *entry, now uint64) bool {
+	if !e.addrResolved && e.addrKnown() {
+		e.addrResolved = true
+		c.checkDependenceViolation(e, now)
+		// Read-for-ownership prefetch: acquire M early so the SB drain
+		// hits in the L1.
+		c.hier.PrefetchOwner(c.id, e.inst.Addr, now)
+	}
+	if e.addrResolved && e.dataKnown() {
+		e.status = stDone
+		e.execDone = now + 1
+		return true
+	}
+	return false
+}
+
+// checkDependenceViolation runs when a store's address resolves: any
+// younger load that already performed on overlapping bytes without
+// forwarding from this store (or a younger one) is a memory-dependence
+// misspeculation; it is squashed and the StoreSet predictor trained.
+func (c *Core) checkDependenceViolation(s *entry, now uint64) {
+	for _, l := range c.lq {
+		if l.dynSeq <= s.dynSeq || l.status < stDone {
+			continue
+		}
+		if !overlaps(s, l) {
+			continue
+		}
+		if l.slf && l.slfStore.dynSeq > s.dynSeq {
+			continue // forwarded from a younger store: shadowed
+		}
+		c.ss.TrainViolation(l.inst.PC, s.inst.PC)
+		c.st.DepSquashes++
+		c.squashFrom(l, now, false, false)
+		return
+	}
+}
+
+func (c *Core) tryIssueRMW(e *entry, now uint64) bool {
+	// Atomic RMW: executes at the ROB head with the SB drained, giving it
+	// TSO atomic (and trivially store-atomic) semantics.
+	if len(c.rob) == 0 || c.rob[0] != e || !e.addrKnown() {
+		return false
+	}
+	if c.sq.anyOlderUnwritten(e.dynSeq) {
+		return false
+	}
+	e.status = stIssued
+	e.inflight = true
+	rmw := e
+	c.hier.RMW(c.id, e.inst.Addr, e.inst.EffSize(), e.inst.Imm, now, func(old, when uint64) {
+		if !rmw.alive {
+			return
+		}
+		rmw.val = old
+		rmw.inflight = false
+		rmw.status = stDone
+		rmw.execDone = when
+	})
+	return true
+}
+
+func (c *Core) tryIssueLoad(e *entry, now uint64) bool {
+	if !e.addrKnown() {
+		return false
+	}
+	if e.fenceBarrier != nil && e.fenceBarrier.status != stRetired {
+		return false // serialize loads behind an in-flight fence
+	}
+	e.lineAddr = c.hier.LineAddr(e.inst.Addr)
+
+	// Blocked on a specific store writing to the L1 (370-NoSpec blanket
+	// enforcement, or a partial-overlap forwarding block)?
+	if e.waitStore != nil {
+		if !e.waitStore.writtenL1 {
+			return false
+		}
+		e.waitStore = nil
+		c.issueToMemory(e, now)
+		return true
+	}
+	// Blocked on an older store's address (StoreSet dependence or
+	// 370-NoSpec waiting)?
+	if e.waitAddr != nil {
+		if !e.waitAddr.addrKnown() {
+			return false
+		}
+		e.waitAddr = nil
+		// fall through and re-disambiguate
+	}
+
+	c.st.SQSearches++
+	match, unknown := c.sq.youngestOlderMatch(e)
+
+	if c.model == config.NoSpec370 {
+		// Blanket enforcement: wait for all older store addresses; on a
+		// match, wait for that store's L1 write (IBM 370, Section II-C).
+		if unknown != nil {
+			e.waitAddr = unknown
+			return false
+		}
+		if match != nil {
+			e.waitStore = match
+			if !e.noSpecWaited {
+				e.noSpecWaited = true
+				c.st.NoSpecWaits++
+			}
+			return false
+		}
+		c.issueToMemory(e, now)
+		return true
+	}
+
+	if unknown != nil && c.ss.PredictDependent(e.inst.PC, unknown.inst.PC) {
+		e.waitAddr = unknown
+		return false
+	}
+	if match != nil {
+		if !contains(match, e) {
+			// Partial overlap: cannot forward; wait for the store's
+			// L1 write, as conventional cores do.
+			e.waitStore = match
+			return false
+		}
+		if !match.dataKnown() {
+			return false // wait for the store data
+		}
+		// Store-to-load forwarding: the load becomes an SLF load and
+		// copies the store's key (Fig. 8 step a). Under the paper's
+		// insight the SLF load is NOT speculative; it is the source
+		// of SA-speculation for younger loads.
+		e.slf = true
+		e.slfStore = match
+		e.slfKey = match.sqKey
+		e.status = stIssued
+		e.execDone = now + uint64(c.l1Lat)
+		return true
+	}
+	c.issueToMemory(e, now)
+	return true
+}
+
+func (c *Core) issueToMemory(e *entry, now uint64) {
+	e.status = stIssued
+	e.inflight = true
+	ld := e
+	c.hier.Load(c.id, e.inst.Addr, e.inst.EffSize(), now, func(val, when uint64) {
+		if !ld.alive {
+			return
+		}
+		ld.val = val
+		ld.inflight = false
+		ld.status = stDone
+		ld.execDone = when
+	})
+}
+
+// ---- dispatch -----------------------------------------------------------------
+
+func (c *Core) dispatch(now uint64) {
+	if now < c.redirectUntil {
+		return
+	}
+	if c.haltBranch != nil {
+		// A mispredicted branch is in flight: the front end fetches the
+		// wrong path until the branch resolves (handled in complete).
+		return
+	}
+	for n := 0; n < c.cfg.Width; n++ {
+		if c.fetchIdx >= len(c.prog) {
+			return
+		}
+		in := c.prog[c.fetchIdx]
+		if len(c.rob) >= c.cfg.ROBEntries {
+			if n == 0 {
+				c.st.StallCycles[stats.StallROB]++
+			}
+			return
+		}
+		if in.Op == isa.OpLoad && len(c.lq) >= c.cfg.LQEntries {
+			if n == 0 {
+				c.st.StallCycles[stats.StallLQ]++
+			}
+			return
+		}
+		if in.Op == isa.OpStore && c.sq.full() {
+			if n == 0 {
+				c.st.StallCycles[stats.StallSQ]++
+			}
+			return
+		}
+		c.dispatchOne(in, now)
+	}
+}
+
+func (c *Core) dispatchOne(in isa.Inst, now uint64) {
+	c.dynSeq++
+	e := &entry{
+		inst:      in,
+		traceIdx:  c.fetchIdx,
+		dynSeq:    c.dynSeq,
+		alive:     true,
+		minRetire: now + uint64(c.cfg.PipelineDepth),
+	}
+	c.fetchIdx++
+
+	// Rename: capture producers or values for the source operands.
+	if in.Src1 != isa.RegNone {
+		if p := c.regProd[in.Src1]; p != nil {
+			e.src1Prod = p
+		} else {
+			e.src1Val = c.regVal[in.Src1]
+		}
+	}
+	if in.Src2 != isa.RegNone {
+		if p := c.regProd[in.Src2]; p != nil {
+			e.src2Prod = p
+		} else {
+			e.src2Val = c.regVal[in.Src2]
+		}
+	}
+	if in.Dst != isa.RegNone {
+		c.regProd[in.Dst] = e
+	}
+
+	c.rob = append(c.rob, e)
+	switch in.Op {
+	case isa.OpFence:
+		c.lastFence = e
+	case isa.OpLoad:
+		e.fenceBarrier = c.lastFence
+		c.lq = append(c.lq, e)
+	case isa.OpStore:
+		c.sq.alloc(e)
+	case isa.OpBranch:
+		// Train in dispatch order so the global history is coherent;
+		// the penalty applies when the branch resolves.
+		correct := c.bp.Update(in.PC, in.Taken)
+		if !correct {
+			e.predWrong = true
+			c.haltBranch = e
+		}
+	}
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

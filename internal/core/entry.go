@@ -1,0 +1,147 @@
+// Package core implements the Skylake-like out-of-order core of Table III
+// and the paper's primary contribution: speculative enforcement of store
+// atomicity through SLF loads, SA-speculative loads and the retire gate
+// (Section IV).
+//
+// The core is trace driven. Every cycle it retires up to Width instructions
+// (subject to the consistency-model policy and the retire gate), drains the
+// store buffer, issues ready instructions, and dispatches up to Width new
+// instructions from the trace into the ROB/LQ/SQ. Invalidation and eviction
+// messages from the memory hierarchy snoop the load queue and squash
+// performed speculative loads, exactly the squash-and-reexecute discipline
+// the paper builds on.
+package core
+
+import (
+	"sesa/internal/isa"
+)
+
+// status tracks an entry's progress through the pipeline.
+type status uint8
+
+const (
+	// stDispatched: in the ROB, waiting for operands.
+	stDispatched status = iota
+	// stIssued: executing (ALU latency, memory access in flight, or
+	// waiting on a store-forwarding condition).
+	stIssued
+	// stDone: result available (loads: performed; stores: address and
+	// data ready; branches: resolved).
+	stDone
+	// stRetired: left the ROB. Only stores linger afterwards, in the SB
+	// portion of their SQ/SB slot, until they write to the L1.
+	stRetired
+)
+
+// entry is one in-flight instruction: a ROB entry, plus the LQ or SQ/SB
+// fields when it is a memory operation.
+type entry struct {
+	inst     isa.Inst
+	traceIdx int    // index in the core's program
+	dynSeq   uint64 // per-core dynamic sequence number (re-execution gets a new one)
+	status   status
+	alive    bool // false once squashed; stale memory callbacks check this
+
+	// Operand tracking. A nil producer means the value was captured at
+	// dispatch time.
+	src1Prod *entry
+	src2Prod *entry
+	src1Val  uint64
+	src2Val  uint64
+
+	val      uint64 // result: load value, ALU result, RMW old value
+	execDone uint64 // cycle execution completes (valid when status >= stDone)
+	// minRetire is the earliest cycle the entry may retire: dispatch
+	// cycle plus the pipeline depth.
+	minRetire uint64
+
+	// Load fields.
+	lineAddr uint64 // cache line of Addr, set at issue
+	slf      bool   // performed by store-to-load forwarding
+	slfStore *entry // forwarding store (nil if !slf)
+	slfKey   key    // copy of the forwarding store's SQ/SB key
+	// waitStore, when non-nil, blocks the load until that store drains
+	// (370-NoSpec store-atomicity blocking, or a partial-overlap
+	// forwarding block).
+	waitStore *entry
+	// waitAddr, when non-nil, blocks the load until that store's address
+	// resolves (StoreSet predicted dependence, or blanket waiting in
+	// 370-NoSpec).
+	waitAddr *entry
+	inflight bool // memory request outstanding
+	// fenceBarrier is the youngest older fence at dispatch time; the load
+	// may not issue until it retires (mfence ordering).
+	fenceBarrier *entry
+
+	// gateStalled marks that this load has already been counted as a
+	// gate stall (or an SLFSpec retire wait) at the ROB head.
+	gateStalled bool
+	// noSpecWaited marks that the load was counted as a 370-NoSpec
+	// blanket-enforcement wait.
+	noSpecWaited bool
+
+	// Branch fields.
+	predWrong bool // the front end mispredicted this branch
+
+	// Store fields.
+	addrResolved bool // address resolution (and violation check) done
+	sqSlot       int  // SQ/SB slot index
+	sqKey        key  // slot + sorting bit
+	writtenL1    bool // store has written to the L1 (inserted in memory order)
+	draining     bool // write request issued to the hierarchy
+}
+
+// isLoad reports whether the entry occupies a load-queue slot.
+func (e *entry) isLoad() bool { return e.inst.Op == isa.OpLoad }
+
+// isStore reports whether the entry occupies an SQ/SB slot.
+func (e *entry) isStore() bool { return e.inst.Op == isa.OpStore }
+
+// addrKnown reports whether the memory address is resolved. Addresses come
+// from the trace but become known only when the address-dependency register
+// (Src2) is available, modelling address generation.
+func (e *entry) addrKnown() bool {
+	return e.inst.Src2 == isa.RegNone || e.src2Prod == nil || e.src2Prod.status >= stDone
+}
+
+// dataKnown reports whether a store's data operand is available.
+func (e *entry) dataKnown() bool {
+	return e.inst.Src1 == isa.RegNone || e.src1Prod == nil || e.src1Prod.status >= stDone
+}
+
+// storeData returns the store's data value; call only when dataKnown.
+func (e *entry) storeData() uint64 {
+	if e.inst.Src1 == isa.RegNone {
+		return e.inst.Imm
+	}
+	if e.src1Prod != nil {
+		return e.src1Prod.val
+	}
+	return e.src1Val
+}
+
+// overlaps reports whether two memory operations touch overlapping bytes.
+func overlaps(a, b *entry) bool {
+	as, ae := a.inst.Addr, a.inst.Addr+uint64(a.inst.EffSize())
+	bs, be := b.inst.Addr, b.inst.Addr+uint64(b.inst.EffSize())
+	return as < be && bs < ae
+}
+
+// contains reports whether store s fully covers load l's bytes, the
+// condition for store-to-load forwarding.
+func contains(s, l *entry) bool {
+	return s.inst.Addr <= l.inst.Addr &&
+		s.inst.Addr+uint64(s.inst.EffSize()) >= l.inst.Addr+uint64(l.inst.EffSize())
+}
+
+// forwardValue extracts the load's bytes from the store's data; call only
+// when contains(s, l).
+func forwardValue(s, l *entry) uint64 {
+	shift := (l.inst.Addr - s.inst.Addr) * 8
+	v := s.storeData() >> shift
+	size := l.inst.EffSize()
+	if size >= 8 {
+		return v
+	}
+	return v & ((1 << (uint64(size) * 8)) - 1)
+}

@@ -1,0 +1,66 @@
+package core
+
+// key identifies a store's SQ/SB slot: the slot position bits plus one
+// sorting bit that disambiguates wrap-around of the circular buffer
+// (Section IV-B2, after Buyuktosunoglu et al.). For the 56-entry SQ/SB of
+// Table III this is 6+1 bits; with the LQ's SLF bit it is the 8 bits per LQ
+// entry the paper accounts for.
+type key struct {
+	slot int
+	sort bool
+}
+
+// Gate is the retire gate: a single open/closed bit and a key register
+// (Section IV-B). When an SLF load retires while its forwarding store is
+// still in the store buffer, it closes the gate and locks it with its copy
+// of the store's key; the store reopens the gate when it writes to the L1.
+// The invariant is that exactly one store in the SB matches the key and
+// exactly one (already retired) load closed the gate.
+type Gate struct {
+	closed bool
+	// keyed is true when the gate was locked with a key (SLFSoS-key);
+	// the keyless SLFSoS variant closes the gate without a key and
+	// reopens it only when the store buffer drains completely.
+	keyed bool
+	key   key
+}
+
+// Closed reports whether loads are currently blocked from retiring.
+func (g *Gate) Closed() bool { return g.closed }
+
+// CloseKeyed closes the gate locked with k (370-SLFSoS-key).
+func (g *Gate) CloseKeyed(k key) {
+	g.closed = true
+	g.keyed = true
+	g.key = k
+}
+
+// CloseUnkeyed closes the gate with no key (370-SLFSoS): only a full store
+// buffer drain reopens it.
+func (g *Gate) CloseUnkeyed() {
+	g.closed = true
+	g.keyed = false
+}
+
+// StoreWrote is called when the store holding k completes its L1 write. It
+// reopens a keyed gate when the keys match and reports whether the gate
+// opened.
+func (g *Gate) StoreWrote(k key) bool {
+	if g.closed && g.keyed && g.key == k {
+		g.closed = false
+		return true
+	}
+	return false
+}
+
+// SBDrained is called when the store buffer becomes empty. It reopens an
+// unkeyed gate and reports whether the gate opened. A keyed gate must have
+// been opened already by its store's write (the store cannot leave the SB
+// without writing), but opening it here too keeps the mechanism safe.
+func (g *Gate) SBDrained() bool {
+	if g.closed {
+		g.closed = false
+		return true
+	}
+	return false
+}

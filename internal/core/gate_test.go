@@ -1,0 +1,80 @@
+package core
+
+import "testing"
+
+func TestGateKeyedCloseReopen(t *testing.T) {
+	var g Gate
+	if g.Closed() {
+		t.Fatal("gate must start open")
+	}
+	k := key{slot: 5, sort: true}
+	g.CloseKeyed(k)
+	if !g.Closed() {
+		t.Fatal("gate should be closed")
+	}
+	// A different key must not open it: wrong slot, wrong sorting bit.
+	if g.StoreWrote(key{slot: 4, sort: true}) {
+		t.Error("wrong slot opened the gate")
+	}
+	if g.StoreWrote(key{slot: 5, sort: false}) {
+		t.Error("wrong sorting bit opened the gate")
+	}
+	if !g.Closed() {
+		t.Fatal("gate should still be closed")
+	}
+	if !g.StoreWrote(k) {
+		t.Error("matching key should open the gate")
+	}
+	if g.Closed() {
+		t.Error("gate should be open after key match")
+	}
+	// Opening an already-open gate reports false.
+	if g.StoreWrote(k) {
+		t.Error("opening an open gate should report false")
+	}
+}
+
+func TestGateUnkeyedIgnoresStoreWrites(t *testing.T) {
+	var g Gate
+	g.CloseUnkeyed()
+	if g.StoreWrote(key{slot: 0}) {
+		t.Error("an unkeyed gate must not open on a store write")
+	}
+	if !g.Closed() {
+		t.Fatal("gate should still be closed")
+	}
+	if !g.SBDrained() {
+		t.Error("SB drain should open an unkeyed gate")
+	}
+	if g.Closed() {
+		t.Error("gate should be open")
+	}
+	if g.SBDrained() {
+		t.Error("draining an open gate should report false")
+	}
+}
+
+func TestGateSBDrainOpensKeyedGateToo(t *testing.T) {
+	// Safety net: if the SB fully drains, even a keyed gate opens (its
+	// store cannot still be in the SB).
+	var g Gate
+	g.CloseKeyed(key{slot: 3})
+	if !g.SBDrained() {
+		t.Error("SB drain should open a keyed gate as a safety net")
+	}
+}
+
+func TestGateRelockAfterReopen(t *testing.T) {
+	var g Gate
+	k1 := key{slot: 1}
+	k2 := key{slot: 2}
+	g.CloseKeyed(k1)
+	g.StoreWrote(k1)
+	g.CloseKeyed(k2)
+	if g.StoreWrote(k1) {
+		t.Error("stale key must not open a re-locked gate")
+	}
+	if !g.StoreWrote(k2) {
+		t.Error("current key should open the gate")
+	}
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"sesa/internal/config"
+	"sesa/internal/isa"
+)
+
+// DebugSquash, when non-nil, is called on every invalidation/eviction
+// squash with the line and cause; test harnesses use it to attribute
+// misspeculation sources.
+var DebugSquash func(lineAddr uint64, eviction bool)
+
+// onLineRemoved is the hierarchy's invalidation/eviction listener: it snoops
+// the load queue. A performed, non-retired load on the removed line is
+// squashed if it is speculative under the core's model — the mechanism that
+// dynamically enforces store atomicity exactly when a violation would
+// otherwise become observable (Sections III and IV).
+func (c *Core) onLineRemoved(lineAddr uint64, when uint64, eviction bool) {
+	if c.done {
+		return
+	}
+	c.st.LQSnoops++
+	for i, e := range c.lq {
+		if e.status != stDone || e.lineAddr != lineAddr {
+			continue
+		}
+		mspec, sa := c.loadSpeculative(i, e)
+		if !mspec && !sa {
+			continue
+		}
+		c.st.LQSnoopHits++
+		c.st.Squashes++
+		if sa {
+			// The load was SA-speculative when caught: a
+			// store-atomicity misspeculation (Table IV counts
+			// re-execution "from the speculative load that is
+			// caught by an invalidation or replacement").
+			c.st.SASquashes++
+		}
+		if eviction {
+			c.st.EvictionSquashes++
+		}
+		if DebugSquash != nil {
+			DebugSquash(lineAddr, eviction)
+		}
+		c.squashFrom(e, when, true, sa)
+		return
+	}
+}
+
+// loadSpeculative decides whether the performed load c.lq[i] may still be
+// squashed, under the core's consistency model.
+//
+// All models use in-window load-load speculation: a load that performed
+// while an older load is unperformed is M-speculative. The chain through
+// older performed-but-speculative loads is implied: if the oldest
+// unperformed load L0 precedes them both, every younger performed load sees
+// L0 as an older unperformed load.
+//
+// The SA-speculation models add the paper's new state:
+//   - 370-SLFSoS / 370-SLFSoS-key: a load is SA-speculative if the retire
+//     gate is closed (it is then younger than the retired SLF load that
+//     closed it) or if an older SLF load in the LQ has a forwarding store
+//     that has not yet written to the L1. The SLF load itself is NOT
+//     speculative (Section IV-A).
+//   - 370-SLFSpec: SC-like speculation where the SLF load itself IS
+//     speculative until every older store has written to the L1.
+func (c *Core) loadSpeculative(i int, e *entry) (mspec, sa bool) {
+	// M-speculative: any older unperformed load. This is the baseline
+	// load-load in-window speculation every model (including x86) uses.
+	for j := 0; j < i; j++ {
+		if c.lq[j].status < stDone {
+			mspec = true
+			break
+		}
+	}
+	switch c.model {
+	case config.SLFSoS370, config.SLFSoSKey370:
+		if c.gate.Closed() {
+			sa = true
+			return
+		}
+		for j := 0; j < i; j++ {
+			l := c.lq[j]
+			if l.slf && !l.slfStore.writtenL1 {
+				sa = true
+				return
+			}
+		}
+	case config.SLFSpec370:
+		for j := 0; j <= i; j++ {
+			l := c.lq[j]
+			if l.slf && l.status >= stDone && c.sq.anyOlderUnwritten(l.dynSeq) {
+				sa = true
+				return
+			}
+		}
+	}
+	return
+}
+
+// squashFrom flushes the pipeline from entry `from` (inclusive) to the ROB
+// tail and restarts fetch at its trace index. countReexec attributes the
+// flushed instructions to the Table IV "re-executed" metric (store-atomicity
+// or load-load misspeculation); memory-dependence squashes are counted
+// separately.
+func (c *Core) squashFrom(from *entry, now uint64, countReexec, saOnly bool) {
+	pos := -1
+	for i, e := range c.rob {
+		if e == from {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		panic("core: squash target not in ROB")
+	}
+	flushed := c.rob[pos:]
+	for i := len(flushed) - 1; i >= 0; i-- {
+		e := flushed[i]
+		e.alive = false
+		if e.isStore() {
+			if e.status == stRetired {
+				panic("core: squashing a retired store")
+			}
+			c.sq.rollback(e)
+		}
+		if c.haltBranch == e {
+			c.haltBranch = nil
+		}
+	}
+	if countReexec {
+		c.st.ReexecInsts += uint64(len(flushed))
+		if saOnly {
+			c.st.SAReexecInsts += uint64(len(flushed))
+		}
+	}
+	c.rob = c.rob[:pos]
+
+	// Rebuild the LQ (a suffix was flushed) and the rename map.
+	for len(c.lq) > 0 && !c.lq[len(c.lq)-1].alive {
+		c.lq = c.lq[:len(c.lq)-1]
+	}
+	for r := range c.regProd {
+		c.regProd[r] = nil
+	}
+	c.lastFence = nil
+	for _, e := range c.rob {
+		if e.inst.Dst != isa.RegNone {
+			c.regProd[e.inst.Dst] = e
+		}
+		if e.inst.Op == isa.OpFence {
+			c.lastFence = e
+		}
+	}
+
+	c.fetchIdx = from.traceIdx
+	c.redirectUntil = maxU64(c.redirectUntil, now+uint64(c.cfg.SquashRefillPenalty))
+}

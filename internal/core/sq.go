@@ -1,0 +1,134 @@
+package core
+
+// storeQueue is the combined store queue + store buffer: a single circular
+// structure where the retired/non-retired division is implicit in each
+// entry's status (Section II-A). A store occupies its slot from dispatch
+// until its L1 write completes; the sorting bit per slot flips on
+// wrap-around so that a (slot, sorting-bit) key uniquely names a live store.
+type storeQueue struct {
+	slots []*entry
+	sort  []bool
+	head  int // oldest occupied slot
+	tail  int // next free slot
+	count int
+}
+
+func newStoreQueue(capacity int) *storeQueue {
+	return &storeQueue{
+		slots: make([]*entry, capacity),
+		sort:  make([]bool, capacity),
+	}
+}
+
+func (q *storeQueue) full() bool  { return q.count == len(q.slots) }
+func (q *storeQueue) empty() bool { return q.count == 0 }
+
+// alloc assigns the next slot to store e and stamps its key.
+func (q *storeQueue) alloc(e *entry) {
+	if q.full() {
+		panic("core: store queue overflow")
+	}
+	e.sqSlot = q.tail
+	e.sqKey = key{slot: q.tail, sort: q.sort[q.tail]}
+	q.slots[q.tail] = e
+	q.tail = (q.tail + 1) % len(q.slots)
+	q.count++
+}
+
+// oldest returns the store at the head of the queue, or nil.
+func (q *storeQueue) oldest() *entry {
+	if q.count == 0 {
+		return nil
+	}
+	return q.slots[q.head]
+}
+
+// free releases the head slot after its store's L1 write, flipping the
+// sorting bit for the slot's next occupant.
+func (q *storeQueue) free(e *entry) {
+	if q.slots[q.head] != e {
+		panic("core: store buffer freed out of order")
+	}
+	q.slots[q.head] = nil
+	q.sort[q.head] = !q.sort[q.head]
+	q.head = (q.head + 1) % len(q.slots)
+	q.count--
+}
+
+// rollback removes a squashed, non-retired store. Squashes flush a
+// contiguous youngest suffix of the ROB, so the store must be the youngest
+// allocation.
+func (q *storeQueue) rollback(e *entry) {
+	prev := (q.tail - 1 + len(q.slots)) % len(q.slots)
+	if q.slots[prev] != e {
+		panic("core: store queue rollback out of order")
+	}
+	q.slots[prev] = nil
+	q.tail = prev
+	q.count--
+}
+
+// present reports whether the store named by k is still in the SQ/SB; this
+// is the direct-slot sorting-bit check the retiring SLF load performs
+// (Section IV-B2).
+func (q *storeQueue) present(k key) bool {
+	e := q.slots[k.slot]
+	return e != nil && e.sqKey == k
+}
+
+// anyOlderUnwritten reports whether any store older than dynSeq has not yet
+// written to the L1. Fences and the 370-SLFSpec retire rule use it.
+func (q *storeQueue) anyOlderUnwritten(dynSeq uint64) bool {
+	for i, n := q.head, q.count; n > 0; i, n = (i+1)%len(q.slots), n-1 {
+		e := q.slots[i]
+		if e != nil && e.dynSeq < dynSeq && !e.writtenL1 {
+			return true
+		}
+	}
+	return false
+}
+
+// anyRetiredUnwritten reports whether the store-buffer portion is non-empty:
+// a retired store that has not yet written to the L1.
+func (q *storeQueue) anyRetiredUnwritten() bool {
+	for i, n := q.head, q.count; n > 0; i, n = (i+1)%len(q.slots), n-1 {
+		e := q.slots[i]
+		if e != nil && e.status == stRetired && !e.writtenL1 {
+			return true
+		}
+	}
+	return false
+}
+
+// youngestOlderMatch returns the youngest store older than the load that
+// overlaps it, and separately the youngest older store whose address is
+// still unknown. Either may be nil. The search walks from the youngest
+// allocation backwards, which is the SQ/SB snoop every load already does in
+// a conventional core — the snoop our mechanism reuses to copy the key.
+func (q *storeQueue) youngestOlderMatch(l *entry) (match, unknown *entry) {
+	i := (q.tail - 1 + len(q.slots)) % len(q.slots)
+	for n := q.count; n > 0; n-- {
+		e := q.slots[i]
+		if e != nil && e.dynSeq < l.dynSeq {
+			if !e.addrKnown() {
+				if unknown == nil {
+					unknown = e
+				}
+			} else if overlaps(e, l) {
+				match = e
+				return
+			}
+		}
+		i = (i - 1 + len(q.slots)) % len(q.slots)
+	}
+	return
+}
+
+// forEach calls fn on every store from oldest to youngest.
+func (q *storeQueue) forEach(fn func(*entry)) {
+	for i, n := q.head, q.count; n > 0; i, n = (i+1)%len(q.slots), n-1 {
+		if e := q.slots[i]; e != nil {
+			fn(e)
+		}
+	}
+}

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sesa/internal/isa"
+)
+
+func newStore(seq uint64, addr uint64) *entry {
+	return &entry{
+		inst:   isa.StoreImm(addr, seq),
+		dynSeq: seq,
+		alive:  true,
+	}
+}
+
+func TestStoreQueueAllocFreeWrapSortingBit(t *testing.T) {
+	q := newStoreQueue(4)
+	var seq uint64
+
+	// Fill, drain, and refill across the wrap-around: the sorting bit of
+	// each slot must flip, so keys from the two generations differ.
+	firstGen := make([]key, 4)
+	for i := 0; i < 4; i++ {
+		seq++
+		e := newStore(seq, uint64(i*64))
+		q.alloc(e)
+		firstGen[i] = e.sqKey
+		e.status = stRetired
+	}
+	if !q.full() {
+		t.Fatal("queue should be full")
+	}
+	for i := 0; i < 4; i++ {
+		e := q.oldest()
+		e.writtenL1 = true
+		q.free(e)
+	}
+	if !q.empty() {
+		t.Fatal("queue should be empty")
+	}
+	for i := 0; i < 4; i++ {
+		seq++
+		e := newStore(seq, uint64(i*64))
+		q.alloc(e)
+		if e.sqKey.slot != firstGen[i].slot {
+			t.Errorf("slot %d: expected same slot reuse", i)
+		}
+		if e.sqKey.sort == firstGen[i].sort {
+			t.Errorf("slot %d: sorting bit did not flip on wrap", i)
+		}
+	}
+}
+
+func TestStoreQueuePresent(t *testing.T) {
+	q := newStoreQueue(2)
+	e1 := newStore(1, 0)
+	q.alloc(e1)
+	k1 := e1.sqKey
+	if !q.present(k1) {
+		t.Fatal("freshly allocated store should be present")
+	}
+	e1.status = stRetired
+	e1.writtenL1 = true
+	q.free(e1)
+	if q.present(k1) {
+		t.Error("freed store should not be present")
+	}
+	// A new store in the same slot must not match the old key: the tail
+	// wraps back to slot 0 on the second allocation.
+	q.alloc(newStore(2, 64))
+	e3 := newStore(3, 128)
+	q.alloc(e3)
+	if e3.sqSlot != e1.sqSlot {
+		t.Fatalf("expected slot reuse, got %d vs %d", e3.sqSlot, e1.sqSlot)
+	}
+	if q.present(k1) {
+		t.Error("old-generation key must not match the slot's new occupant")
+	}
+	if !q.present(e3.sqKey) {
+		t.Error("new occupant should be present under its own key")
+	}
+}
+
+func TestStoreQueueRollback(t *testing.T) {
+	q := newStoreQueue(4)
+	a, b, c := newStore(1, 0), newStore(2, 64), newStore(3, 128)
+	q.alloc(a)
+	q.alloc(b)
+	q.alloc(c)
+	// Squash flushes the youngest suffix: c then b.
+	q.rollback(c)
+	q.rollback(b)
+	if q.count != 1 || q.oldest() != a {
+		t.Fatalf("rollback broke the queue: count=%d", q.count)
+	}
+	// Re-allocation reuses the rolled-back slots with unchanged sorting
+	// bits (no wrap happened).
+	b2 := newStore(4, 64)
+	q.alloc(b2)
+	if b2.sqSlot != b.sqSlot || b2.sqKey.sort != b.sqKey.sort {
+		t.Error("re-allocated slot should keep its sorting bit")
+	}
+}
+
+func TestStoreQueueRollbackOutOfOrderPanics(t *testing.T) {
+	q := newStoreQueue(4)
+	a, b := newStore(1, 0), newStore(2, 64)
+	q.alloc(a)
+	q.alloc(b)
+	defer func() {
+		if recover() == nil {
+			t.Error("rolling back a non-youngest store must panic")
+		}
+	}()
+	q.rollback(a)
+}
+
+func TestStoreQueueSearchOrder(t *testing.T) {
+	q := newStoreQueue(8)
+	old := newStore(1, 0x100)
+	mid := newStore(2, 0x100)
+	q.alloc(old)
+	q.alloc(mid)
+	ld := &entry{inst: isa.Load(1, 0x100), dynSeq: 3, alive: true}
+	m, unk := q.youngestOlderMatch(ld)
+	if m != mid {
+		t.Error("search must return the youngest older matching store")
+	}
+	if unk != nil {
+		t.Error("no unknown-address store expected")
+	}
+
+	// A younger store (dynSeq 4) must not match a load with dynSeq 3.
+	q.alloc(newStore(4, 0x100))
+	if m, _ := q.youngestOlderMatch(ld); m != mid {
+		t.Error("younger store must be invisible to an older load")
+	}
+}
+
+func TestStoreQueueUnknownAddressBlocksSearch(t *testing.T) {
+	q := newStoreQueue(8)
+	known := newStore(1, 0x200)
+	q.alloc(known)
+	// Store with an address dependency that has not resolved.
+	dep := &entry{inst: isa.Inst{Op: isa.OpStore, Src1: isa.RegNone, Src2: 5, Addr: 0x200}, dynSeq: 2, alive: true}
+	dep.src2Prod = &entry{status: stDispatched}
+	q.alloc(dep)
+	ld := &entry{inst: isa.Load(1, 0x200), dynSeq: 3, alive: true}
+	m, unk := q.youngestOlderMatch(ld)
+	if unk != dep {
+		t.Error("unresolved store should be reported")
+	}
+	// The older resolved match is returned alongside the younger
+	// unresolved store: the caller may speculate past the unknown
+	// (StoreSet D-speculation) and forward from the match; if the unknown
+	// later resolves to the same address, the dependence-violation check
+	// squashes the load.
+	if m != known {
+		t.Error("resolved older match should be returned for D-speculation")
+	}
+	if unk.dynSeq < m.dynSeq {
+		t.Error("reported unknown must be younger than the match")
+	}
+}
+
+func TestStoreQueueAnyOlderUnwritten(t *testing.T) {
+	q := newStoreQueue(4)
+	a := newStore(1, 0)
+	b := newStore(5, 64)
+	q.alloc(a)
+	q.alloc(b)
+	if !q.anyOlderUnwritten(3) {
+		t.Error("store 1 is older than 3 and unwritten")
+	}
+	a.writtenL1 = true
+	if q.anyOlderUnwritten(3) {
+		t.Error("store 1 written; store 5 is younger than 3")
+	}
+	if !q.anyOlderUnwritten(10) {
+		t.Error("store 5 is older than 10 and unwritten")
+	}
+}
+
+// TestOverlapContainsForward exercises the byte-precise forwarding helpers.
+func TestOverlapContainsForward(t *testing.T) {
+	st8 := &entry{inst: isa.StoreImm(0x100, 0x1122334455667788)}
+	ld8 := &entry{inst: isa.Load(1, 0x100)}
+	ld4 := &entry{inst: isa.Inst{Op: isa.OpLoad, Dst: 1, Src1: isa.RegNone, Src2: isa.RegNone, Addr: 0x104, Size: 4}}
+	ldOther := &entry{inst: isa.Load(1, 0x108)}
+
+	if !overlaps(st8, ld8) || !contains(st8, ld8) {
+		t.Error("same-address same-size must forward")
+	}
+	if got := forwardValue(st8, ld8); got != 0x1122334455667788 {
+		t.Errorf("full forward = %#x", got)
+	}
+	if !contains(st8, ld4) {
+		t.Error("8-byte store contains 4-byte load of its upper half")
+	}
+	if got := forwardValue(st8, ld4); got != 0x11223344 {
+		t.Errorf("partial forward = %#x, want upper half", got)
+	}
+	if overlaps(st8, ldOther) {
+		t.Error("disjoint accesses must not overlap")
+	}
+
+	st4 := &entry{inst: isa.Inst{Op: isa.OpStore, Src1: isa.RegNone, Src2: isa.RegNone, Addr: 0x100, Size: 4, Imm: 7}}
+	if contains(st4, ld8) {
+		t.Error("4-byte store cannot fully cover an 8-byte load")
+	}
+	if !overlaps(st4, ld8) {
+		t.Error("they do overlap")
+	}
+}
+
+// TestOverlapSymmetry is a property test: overlaps is symmetric and
+// contains implies overlaps.
+func TestOverlapSymmetry(t *testing.T) {
+	sizes := []uint8{1, 2, 4, 8}
+	f := func(a, b uint16, si, sj uint8) bool {
+		ea := &entry{inst: isa.Inst{Op: isa.OpStore, Src1: isa.RegNone, Src2: isa.RegNone,
+			Addr: uint64(a), Size: sizes[int(si)%len(sizes)]}}
+		eb := &entry{inst: isa.Inst{Op: isa.OpLoad, Src1: isa.RegNone, Src2: isa.RegNone,
+			Addr: uint64(b), Size: sizes[int(sj)%len(sizes)]}}
+		if overlaps(ea, eb) != overlaps(eb, ea) {
+			return false
+		}
+		if contains(ea, eb) && !overlaps(ea, eb) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,102 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstructorsAndStrings(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Load(1, 0x100), "ld r1, [0x100]"},
+		{StoreImm(0x200, 7), "st [0x200], 7"},
+		{StoreReg(0x200, 3), "st [0x200], r3"},
+		{Fence(), "fence"},
+		{Nop(), "nop"},
+		{RMW(2, 0x300, 1), "rmw r2, [0x300]"},
+		{Branch(0x40, true), "br taken=true"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+	if !strings.HasPrefix(ALU(1, 2, 3).String(), "alu") {
+		t.Error("ALU mnemonic")
+	}
+}
+
+func TestOpPredicates(t *testing.T) {
+	if !OpLoad.IsMem() || !OpStore.IsMem() || !OpRMW.IsMem() {
+		t.Error("memory ops misclassified")
+	}
+	if OpALU.IsMem() || OpBranch.IsMem() || OpFence.IsMem() || OpNop.IsMem() {
+		t.Error("non-memory ops misclassified")
+	}
+}
+
+func TestEffSize(t *testing.T) {
+	if Load(1, 0).EffSize() != 8 {
+		t.Error("default size must be 8")
+	}
+	in := Inst{Op: OpLoad, Size: 4}
+	if in.EffSize() != 4 {
+		t.Error("explicit size lost")
+	}
+}
+
+func TestProgramCounts(t *testing.T) {
+	p := Program{Load(1, 0), StoreImm(8, 1), RMW(2, 16, 1), Branch(0, true), Nop()}
+	l, s, b := p.Counts()
+	if l != 2 || s != 2 || b != 1 {
+		t.Errorf("counts = %d %d %d, want 2 2 1", l, s, b)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := Program{Load(1, 0x100), StoreImm(0x108, 5), ALU(2, 1, 1)}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid program rejected: %v", err)
+	}
+
+	bad := []Program{
+		{Inst{Op: OpLoad, Dst: 40, Src1: RegNone, Src2: RegNone}},             // bad dst
+		{Inst{Op: OpALU, Dst: 1, Src1: 99, Src2: RegNone}},                    // bad src1
+		{Inst{Op: OpALU, Dst: 1, Src1: RegNone, Src2: 99}},                    // bad src2
+		{Inst{Op: OpLoad, Dst: 1, Src1: RegNone, Src2: RegNone, Addr: 0x101}}, // misaligned
+		{Inst{Op: OpLoad, Dst: 1, Src1: RegNone, Src2: RegNone, Size: 3}},     // bad size
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad program %d accepted", i)
+		}
+	}
+}
+
+// TestConstructorsAlwaysValid: every constructor with in-range arguments
+// produces an instruction that validates.
+func TestConstructorsAlwaysValid(t *testing.T) {
+	f := func(dst, src uint8, addrWords uint32, v uint64) bool {
+		d := Reg(dst % NumRegs)
+		s := Reg(src % NumRegs)
+		addr := uint64(addrWords) * 8
+		p := Program{
+			Load(d, addr),
+			StoreImm(addr, v),
+			StoreReg(addr, s),
+			ALU(d, s, s),
+			ALUImm(d, s, v, uint8(v%32)),
+			Fence(),
+			RMW(d, addr, 1),
+			Branch(addr, v%2 == 0),
+			Nop(),
+		}
+		return p.Validate() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

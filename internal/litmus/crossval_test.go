@@ -1,0 +1,105 @@
+package litmus
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sesa/internal/checker"
+	"sesa/internal/config"
+	"sesa/internal/isa"
+)
+
+// randomProgram builds a small 2-thread litmus-style program over two
+// shared variables from a seed.
+func randomProgram(seed uint64) checker.Program {
+	rng := seed
+	next := func() uint64 {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return rng >> 11
+	}
+	vars := []uint64{X, Y}
+	p := checker.Program{
+		Init: map[uint64]uint64{X: 0, Y: 0},
+	}
+	reg := isa.Reg(1)
+	for th := 0; th < 2; th++ {
+		var prog isa.Program
+		n := 2 + int(next()%3)
+		for i := 0; i < n; i++ {
+			addr := vars[next()%2]
+			switch next() % 4 {
+			case 0, 1:
+				prog = append(prog, isa.Load(reg, addr))
+				p.Regs = append(p.Regs, checker.RegObs{
+					Thread: th, Reg: reg, Name: regName(th, int(reg)),
+				})
+				reg++
+			case 2:
+				prog = append(prog, isa.StoreImm(addr, 1+next()%3))
+			case 3:
+				prog = append(prog, isa.Fence())
+			}
+		}
+		p.Threads = append(p.Threads, prog)
+	}
+	p.Mem = []checker.MemObs{{Addr: X, Name: "x"}, {Addr: Y, Name: "y"}}
+	return p
+}
+
+func regName(th, r int) string {
+	return string(rune('a'+th)) + string(rune('0'+r%10))
+}
+
+// TestTaxonomyProperty: on random programs, the outcome sets respect the
+// Table I hierarchy: SC ⊆ store-atomic 370 ⊆ x86.
+func TestTaxonomyProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		p := randomProgram(seed)
+		sc := checker.Enumerate(p, checker.SC)
+		atom := checker.Enumerate(p, checker.TSO370)
+		x86 := checker.Enumerate(p, checker.X86TSO)
+		for o := range sc {
+			if !atom.Contains(o) {
+				return false
+			}
+		}
+		for o := range atom {
+			if !x86.Contains(o) {
+				return false
+			}
+		}
+		return len(x86) > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSimWithinCheckerProperty is the strongest cross-validation in the
+// repository: for random programs, every outcome the cycle-accurate machine
+// produces must be allowed by the exhaustive operational model of its
+// consistency class. A single violation would mean the microarchitecture
+// breaks its memory model.
+func TestSimWithinCheckerProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-validation is slow")
+	}
+	models := []config.Model{config.X86, config.NoSpec370, config.SLFSoSKey370}
+	for seed := uint64(1); seed <= 12; seed++ {
+		p := randomProgram(seed * 977)
+		test := Test{Name: "rand", Prog: p}
+		for _, model := range models {
+			allowed := checker.Enumerate(p, CheckerModelFor(model))
+			res, err := Run(WithSBPressure(test, 2), model, 6, seed)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, model, err)
+			}
+			for o, cnt := range res.Outcomes {
+				if !allowed.Contains(o) {
+					t.Errorf("seed %d on %s: outcome %q (x%d) outside the allowed set %v\nprogram: %v",
+						seed, model, o, cnt, allowed.Sorted(), p.Threads)
+				}
+			}
+		}
+	}
+}

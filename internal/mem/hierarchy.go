@@ -1,0 +1,582 @@
+package mem
+
+import (
+	"sesa/internal/config"
+	"sesa/internal/noc"
+)
+
+// Stats accumulates memory-hierarchy counters.
+type Stats struct {
+	L1Hits, L1Misses uint64
+	L2Hits, L2Misses uint64
+	L3Hits, L3Misses uint64
+	MemAccesses      uint64
+	InvalsSent       uint64
+	L1Evictions      uint64
+	L2Evictions      uint64
+	L3Evictions      uint64
+	DirEvictions     uint64
+	Writebacks       uint64
+	Upgrades         uint64
+	OwnerForwards    uint64
+	Prefetches       uint64
+	StoresCompleted  uint64
+	LoadsCompleted   uint64
+}
+
+// InvalListener is notified when a line is removed from a core's private
+// caches: by a remote invalidation (eviction=false) or by a local capacity
+// eviction (eviction=true). The core snoops its load queue on both, as the
+// paper prescribes (Section IV, "Evictions").
+type InvalListener func(lineAddr uint64, cycle uint64, eviction bool)
+
+// Hierarchy is the full memory system: per-core private L1D+L2, shared L3,
+// sparse directory, MESI with write-atomic invalidation, all timed through
+// the NoC model and the event queue.
+//
+// The hierarchy carries real data values at 8-byte-word granularity in a
+// single memory image that is updated at each store's memory-order insertion
+// point (its completion); loads read the image at their perform cycle.
+// Litmus outcomes therefore emerge from microarchitectural timing rather
+// than from scripted results.
+type Hierarchy struct {
+	cfg   config.Memory
+	cores int
+	net   *noc.Network
+	evq   *noc.EventQueue
+
+	l1  []*Array
+	l2  []*Array
+	l3  *Array
+	dir *Directory
+
+	image map[uint64]uint64 // word-aligned address -> value
+
+	listeners []InvalListener
+
+	// busyUntil serializes coherence transactions per line, like a
+	// blocking directory entry. now tracks the latest request time seen,
+	// so lineBusy can distinguish live transactions from finished ones.
+	busyUntil map[uint64]uint64
+	now       uint64
+
+	// pref tracks the per-core stride prefetcher state.
+	pref []strideState
+
+	Stats Stats
+}
+
+type strideState struct {
+	lastMiss uint64
+	stride   int64
+	streak   int
+}
+
+// NewHierarchy builds the memory system for the given core count.
+func NewHierarchy(cores int, cfg config.Memory, net *noc.Network, evq *noc.EventQueue) *Hierarchy {
+	h := &Hierarchy{
+		cfg:       cfg,
+		cores:     cores,
+		net:       net,
+		evq:       evq,
+		l3:        NewHashedArray(config.Cache{SizeBytes: cfg.L3.SizeBytes * cfg.L3Banks, Ways: cfg.L3.Ways, LineBytes: cfg.L3.LineBytes, HitCycles: cfg.L3.HitCycles}),
+		dir:       NewDirectory(cores, cfg.L2, cfg.DirectoryWays, cfg.DirectoryCoverage, cfg.L2.LineBytes),
+		image:     make(map[uint64]uint64),
+		listeners: make([]InvalListener, cores),
+		busyUntil: make(map[uint64]uint64),
+		pref:      make([]strideState, cores),
+	}
+	h.l1 = make([]*Array, cores)
+	h.l2 = make([]*Array, cores)
+	for i := 0; i < cores; i++ {
+		h.l1[i] = NewArray(cfg.L1D)
+		h.l2[i] = NewArray(cfg.L2)
+	}
+	return h
+}
+
+// SetInvalListener registers the core's LQ-snoop callback.
+func (h *Hierarchy) SetInvalListener(core int, fn InvalListener) { h.listeners[core] = fn }
+
+// LineAddr returns the line-aligned address containing addr.
+func (h *Hierarchy) LineAddr(addr uint64) uint64 { return h.l1[0].LineAddr(addr) }
+
+// ---- data image -----------------------------------------------------------
+
+func wordAddr(addr uint64) uint64 { return addr &^ 7 }
+
+// ReadImage returns the current memory-order value of the size-byte location
+// at addr.
+func (h *Hierarchy) ReadImage(addr uint64, size uint8) uint64 {
+	w := h.image[wordAddr(addr)]
+	if size == 0 || size >= 8 {
+		return w
+	}
+	shift := (addr & 7) * 8
+	mask := (uint64(1) << (uint64(size) * 8)) - 1
+	return (w >> shift) & mask
+}
+
+// WriteImage writes val into the memory image immediately; used for
+// initialization and by store completion.
+func (h *Hierarchy) WriteImage(addr uint64, size uint8, val uint64) {
+	wa := wordAddr(addr)
+	if size == 0 || size >= 8 {
+		h.image[wa] = val
+		return
+	}
+	shift := (addr & 7) * 8
+	mask := ((uint64(1) << (uint64(size) * 8)) - 1) << shift
+	h.image[wa] = (h.image[wa] &^ mask) | ((val << shift) & mask)
+}
+
+// ---- latency building blocks ----------------------------------------------
+
+func (h *Hierarchy) ctrl() uint64 { return uint64(h.net.Delay(noc.Control)) }
+func (h *Hierarchy) data() uint64 { return uint64(h.net.Delay(noc.Data)) }
+
+// lineBusy reports whether a coherence transaction on lineAddr is still in
+// flight relative to the latest request time seen by the hierarchy.
+func (h *Hierarchy) lineBusy(lineAddr uint64) bool {
+	return h.busyUntil[lineAddr] > h.now
+}
+
+// lineBusyAt reports whether a transaction on lineAddr is in flight at t.
+func (h *Hierarchy) lineBusyAt(lineAddr, t uint64) bool {
+	return h.busyUntil[lineAddr] > t
+}
+
+// claimLine serializes a transaction on lineAddr starting no earlier than t;
+// it returns the adjusted start time.
+func (h *Hierarchy) claimLine(lineAddr, t uint64) uint64 {
+	if b := h.busyUntil[lineAddr]; b > t {
+		t = b
+	}
+	return t
+}
+
+func (h *Hierarchy) releaseLine(lineAddr, done uint64) {
+	h.busyUntil[lineAddr] = done
+}
+
+func (h *Hierarchy) advance(t uint64) {
+	if t > h.now {
+		h.now = t
+	}
+}
+
+// ---- invalidations and evictions -------------------------------------------
+
+// invalidateCore removes the line from core's private caches at cycle when
+// and notifies the core's listener.
+func (h *Hierarchy) invalidateCore(core int, lineAddr, when uint64, eviction bool) {
+	h.evq.Schedule(when, func() {
+		h.l1[core].SetState(lineAddr, Invalid)
+		h.l2[core].SetState(lineAddr, Invalid)
+		if l := h.listeners[core]; l != nil {
+			l(lineAddr, when, eviction)
+		}
+	})
+}
+
+// notifyEviction tells the core's own LQ about a local eviction without
+// touching cache state (the array already evicted the victim).
+func (h *Hierarchy) notifyEviction(core int, lineAddr, when uint64) {
+	h.Stats.L1Evictions++
+	h.evq.Schedule(when, func() {
+		if l := h.listeners[core]; l != nil {
+			l(lineAddr, when, true)
+		}
+	})
+}
+
+// fillPrivate inserts lineAddr into core's L2 and L1 with state s, handling
+// eviction notifications at cycle when. The private hierarchy is
+// non-inclusive (as in Skylake): an L2 victim still resident in the L1
+// survives there, so L2 churn does not back-invalidate hot L1 lines; the
+// directory presence is dropped only when the line has left both levels.
+func (h *Hierarchy) fillPrivate(core int, lineAddr uint64, s State, when uint64) {
+	if v, ok := h.l2[core].Insert(lineAddr, s); ok {
+		h.Stats.L2Evictions++
+		if !h.l1[core].Resident(v.LineAddr) {
+			h.dropFromDirectory(core, v.LineAddr, v.Dirty)
+		}
+	}
+	if v, ok := h.l1[core].Insert(lineAddr, s); ok {
+		// The LQ must be snooped on L1 evictions: an eviction filters
+		// out future invalidations for loads that performed against
+		// this line (Section IV, "Evictions").
+		if h.l2[core].Resident(v.LineAddr) {
+			if v.Dirty {
+				h.l2[core].SetState(v.LineAddr, Modified)
+			}
+		} else {
+			h.dropFromDirectory(core, v.LineAddr, v.Dirty)
+		}
+		h.notifyEviction(core, v.LineAddr, when)
+	}
+}
+
+// dropFromDirectory processes a non-silent private-cache eviction: the
+// directory clears the core's presence and accounts a writeback for dirty
+// data.
+func (h *Hierarchy) dropFromDirectory(core int, lineAddr uint64, dirty bool) {
+	e := h.dir.Lookup(lineAddr)
+	if e == nil {
+		return
+	}
+	if e.owner == core {
+		e.owner = -1
+		if dirty {
+			h.Stats.Writebacks++
+			e.presentL3 = true
+			h.insertL3(lineAddr)
+		}
+	}
+	e.sharers &^= 1 << uint(core)
+	if e.owner == -1 && e.sharers == 0 && !e.presentL3 {
+		h.dir.Remove(lineAddr)
+	}
+}
+
+// insertL3 places the line in the L3 array, processing the victim.
+func (h *Hierarchy) insertL3(lineAddr uint64) {
+	if v, ok := h.l3.Insert(lineAddr, Shared); ok {
+		h.Stats.L3Evictions++
+		if ve := h.dir.Lookup(v.LineAddr); ve != nil {
+			ve.presentL3 = false
+			if ve.owner == -1 && ve.sharers == 0 {
+				h.dir.Remove(v.LineAddr)
+			}
+		}
+		if v.Dirty {
+			h.Stats.Writebacks++
+		}
+	}
+}
+
+// evictDirEntry invalidates every holder of a victimized directory entry.
+// The invalidations travel as control messages and snoop the remote LQs,
+// reproducing the eviction-induced store-atomicity misspeculations the
+// paper reports for cache-pressure-heavy applications.
+func (h *Hierarchy) evictDirEntry(ev dirEntry, t uint64) {
+	h.Stats.DirEvictions++
+	if ev.owner >= 0 {
+		h.Stats.InvalsSent++
+		h.invalidateCore(ev.owner, ev.tag, t+h.ctrl(), false)
+	}
+	for c := 0; c < h.cores; c++ {
+		if ev.sharers&(1<<uint(c)) != 0 {
+			h.Stats.InvalsSent++
+			h.invalidateCore(c, ev.tag, t+h.ctrl(), false)
+		}
+	}
+	h.l3.SetState(ev.tag, Invalid)
+}
+
+// ---- load path --------------------------------------------------------------
+
+// Load performs a data read for core at cycle t. done runs at the perform
+// cycle with the value read from the memory image at that cycle. done may be
+// nil (prefetch).
+func (h *Hierarchy) Load(core int, addr uint64, size uint8, t uint64, done func(val uint64, when uint64)) {
+	h.advance(t)
+	when := h.loadLine(core, addr, t, false)
+	h.Stats.LoadsCompleted++
+	h.evq.Schedule(when, func() {
+		if done != nil {
+			done(h.ReadImage(addr, size), when)
+		}
+	})
+	h.maybePrefetch(core, addr, t)
+}
+
+// loadLine obtains a readable (S/E/M) copy of addr's line for core and
+// returns the cycle at which the data is available. prefetch suppresses the
+// stride-prefetcher trigger.
+func (h *Hierarchy) loadLine(core int, addr uint64, t uint64, prefetch bool) uint64 {
+	lineAddr := h.LineAddr(addr)
+	l1lat := uint64(h.cfg.L1D.HitCycles)
+	if h.l1[core].Lookup(lineAddr) != Invalid {
+		h.Stats.L1Hits++
+		// claimLine clamps to any in-flight transaction on the line
+		// (e.g. an ownership prefetch whose data has not arrived yet).
+		return h.claimLine(lineAddr, t+l1lat)
+	}
+	h.Stats.L1Misses++
+	t2 := t + l1lat + uint64(h.cfg.L2.HitCycles)
+	if s := h.l2[core].Lookup(lineAddr); s != Invalid {
+		h.Stats.L2Hits++
+		// Fill L1 from L2; L1 state mirrors L2's.
+		if v, ok := h.l1[core].Insert(lineAddr, s); ok {
+			if v.Dirty {
+				h.l2[core].SetState(v.LineAddr, Modified)
+			}
+			h.notifyEviction(core, v.LineAddr, t2)
+		}
+		return h.claimLine(lineAddr, t2)
+	}
+	h.Stats.L2Misses++
+
+	// Go to the L3/directory bank.
+	req := t2 + h.ctrl()
+	req = h.claimLine(lineAddr, req)
+
+	e, ev, evicted := h.dir.Allocate(lineAddr, h.lineBusy)
+	if evicted {
+		h.evictDirEntry(ev, req)
+	}
+
+	var dataAt uint64
+	grant := Shared
+	switch {
+	case e.owner >= 0 && e.owner != core:
+		// Owner holds E/M: forward the request; the owner downgrades
+		// to S and supplies the data.
+		h.Stats.OwnerForwards++
+		owner := e.owner
+		fwd := req + h.ctrl()
+		h.evq.Schedule(fwd, func() {
+			h.l1[owner].SetState(lineAddr, Shared)
+			h.l2[owner].SetState(lineAddr, Shared)
+		})
+		dataAt = fwd + h.data()
+		h.Stats.Writebacks++
+		e.presentL3 = true
+		h.insertL3(lineAddr)
+		e.sharers |= 1 << uint(owner)
+		e.owner = -1
+	case e.presentL3 && h.l3.Lookup(lineAddr) != Invalid:
+		h.Stats.L3Hits++
+		dataAt = req + uint64(h.cfg.L3.HitCycles) + h.data()
+	default:
+		h.Stats.L3Misses++
+		h.Stats.MemAccesses++
+		dataAt = req + uint64(h.cfg.L3.HitCycles) + uint64(h.cfg.MemCycles) + h.data()
+		e.presentL3 = true
+		h.insertL3(lineAddr)
+	}
+	if e.sharers == 0 && e.owner == -1 {
+		grant = Exclusive
+		e.owner = core
+	} else {
+		e.sharers |= 1 << uint(core)
+	}
+	h.releaseLine(lineAddr, dataAt)
+	h.fillPrivate(core, lineAddr, grant, dataAt)
+	return dataAt
+}
+
+// maybePrefetch runs the per-core stride detector and issues a next-stride
+// line fetch on a stable stride (Table III: stride L1 prefetcher).
+func (h *Hierarchy) maybePrefetch(core int, addr uint64, t uint64) {
+	if !h.cfg.StridePrefetch {
+		return
+	}
+	p := &h.pref[core]
+	lineAddr := h.LineAddr(addr)
+	st := int64(lineAddr) - int64(p.lastMiss)
+	if st != 0 && st == p.stride {
+		p.streak++
+	} else {
+		p.streak = 0
+	}
+	p.stride = st
+	p.lastMiss = lineAddr
+	if p.streak >= 2 {
+		next := uint64(int64(lineAddr) + st)
+		if !h.l1[core].Resident(next) && !h.lineBusy(next) {
+			h.Stats.Prefetches++
+			h.loadLine(core, next, t, true)
+		}
+	}
+}
+
+// ---- store path -------------------------------------------------------------
+
+// Store performs the memory-order insertion of a store draining from the
+// store buffer: it obtains M permission (invalidating all other copies and
+// waiting for their acknowledgements: the protocol is write-atomic), writes
+// the memory image at the completion cycle, and runs done. notBefore lets
+// the core pipeline its SB drain while keeping TSO's in-order insertion: a
+// store never completes before its program-order predecessor. The insertion
+// cycle is returned.
+func (h *Hierarchy) Store(core int, addr uint64, size uint8, val uint64, t, notBefore uint64, done func(when uint64)) uint64 {
+	h.advance(t)
+	when := h.storeLine(core, addr, t, notBefore)
+	h.Stats.StoresCompleted++
+	h.evq.Schedule(when, func() {
+		h.WriteImage(addr, size, val)
+		if done != nil {
+			done(when)
+		}
+	})
+	return when
+}
+
+// RMW atomically reads the old value and writes old+add at the completion
+// cycle. The caller is responsible for TSO atomic semantics (SB drain).
+func (h *Hierarchy) RMW(core int, addr uint64, size uint8, add uint64, t uint64, done func(old uint64, when uint64)) {
+	h.advance(t)
+	when := h.storeLine(core, addr, t, 0)
+	h.Stats.StoresCompleted++
+	h.evq.Schedule(when, func() {
+		old := h.ReadImage(addr, size)
+		h.WriteImage(addr, size, old+add)
+		if done != nil {
+			done(old, when)
+		}
+	})
+}
+
+// PrefetchOwner issues a read-for-ownership prefetch for a store that has
+// resolved its address, as x86 cores do at store execution: by the time the
+// store drains from the SB, the line is usually already in M state and the
+// drain is an L1 hit. Without it, a serial store-buffer drain would expose
+// every store miss latency in sequence.
+func (h *Hierarchy) PrefetchOwner(core int, addr uint64, t uint64) {
+	if !h.cfg.RFOPrefetch {
+		return
+	}
+	h.advance(t)
+	lineAddr := h.LineAddr(addr)
+	if s := h.l1[core].Peek(lineAddr); s == Modified || s == Exclusive {
+		return
+	}
+	if h.lineBusy(lineAddr) {
+		return // a transaction is already in flight; the drain will wait
+	}
+	h.Stats.Prefetches++
+	h.storeLine(core, addr, t, 0)
+}
+
+// storeLine obtains Modified permission for core on addr's line and returns
+// the cycle at which the write is globally performed, never earlier than
+// notBefore (in-order SB insertion).
+// storeCommitCycles is the SB-to-L1 commit latency on an owned line (the
+// L1 write takes the full array access).
+const storeCommitCycles = 4
+
+func (h *Hierarchy) storeLine(core int, addr uint64, t, notBefore uint64) uint64 {
+	lineAddr := h.LineAddr(addr)
+	l1lat := uint64(h.cfg.L1D.HitCycles)
+	// The owning-state fast paths are valid only when no transaction is
+	// in flight on the line: a concurrent reader may already be a sharer
+	// in directory state (with our downgrade still travelling), in which
+	// case the write must go through the directory and invalidate it —
+	// otherwise that core would keep a stale copy past our insertion,
+	// silently breaking write atomicity.
+	clamp := func(done uint64) uint64 {
+		if done < notBefore {
+			done = notBefore
+		}
+		return done
+	}
+	if !h.lineBusyAt(lineAddr, t) {
+		switch h.l1[core].Lookup(lineAddr) {
+		case Modified:
+			h.Stats.L1Hits++
+			return h.sealWrite(lineAddr, clamp(t+storeCommitCycles))
+		case Exclusive:
+			// Silent E->M upgrade.
+			h.Stats.L1Hits++
+			h.l1[core].SetState(lineAddr, Modified)
+			h.l2[core].SetState(lineAddr, Modified)
+			return h.sealWrite(lineAddr, clamp(t+storeCommitCycles))
+		}
+		t2 := t + l1lat + uint64(h.cfg.L2.HitCycles)
+		if s := h.l2[core].Lookup(lineAddr); s == Modified || s == Exclusive {
+			h.Stats.L1Misses++
+			h.Stats.L2Hits++
+			h.l2[core].SetState(lineAddr, Modified)
+			if v, ok := h.l1[core].Insert(lineAddr, Modified); ok {
+				if v.Dirty {
+					h.l2[core].SetState(v.LineAddr, Modified)
+				}
+				h.notifyEviction(core, v.LineAddr, t2)
+			}
+			return h.sealWrite(lineAddr, clamp(t2))
+		}
+	} else if h.l1[core].Peek(lineAddr) == Modified || h.l2[core].Peek(lineAddr) == Modified ||
+		h.l1[core].Peek(lineAddr) == Exclusive || h.l2[core].Peek(lineAddr) == Exclusive {
+		h.Stats.L1Hits++ // owned but a transaction is in flight: resolve at the directory
+	} else {
+		h.Stats.L1Misses++
+	}
+	t2 := t + l1lat + uint64(h.cfg.L2.HitCycles)
+	// Upgrade or miss: go to the directory.
+	if h.l2[core].Peek(lineAddr) == Shared {
+		h.Stats.Upgrades++
+	} else if h.l2[core].Peek(lineAddr) == Invalid {
+		h.Stats.L2Misses++
+	}
+	req := t2 + h.ctrl()
+	req = h.claimLine(lineAddr, req)
+
+	e, ev, evicted := h.dir.Allocate(lineAddr, h.lineBusy)
+	if evicted {
+		h.evictDirEntry(ev, req)
+	}
+
+	// Invalidate every other holder; the write completes only after all
+	// acks (write atomicity). On the fully connected NoC invalidations
+	// travel in parallel, so the ack time is one control round trip.
+	ackAt := req
+	sentInval := false
+	if e.owner >= 0 && e.owner != core {
+		h.Stats.InvalsSent++
+		h.invalidateCore(e.owner, lineAddr, req+h.ctrl(), false)
+		sentInval = true
+		// Dirty data is forwarded to the requester.
+		h.Stats.OwnerForwards++
+	}
+	for c := 0; c < h.cores; c++ {
+		if c != core && e.sharers&(1<<uint(c)) != 0 {
+			h.Stats.InvalsSent++
+			h.invalidateCore(c, lineAddr, req+h.ctrl(), false)
+			sentInval = true
+		}
+	}
+	if sentInval {
+		ackAt = req + 2*h.ctrl()
+	}
+
+	// Data arrival, overlapped with invalidations.
+	var dataAt uint64
+	hadCopy := h.l2[core].Peek(lineAddr) != Invalid
+	switch {
+	case hadCopy:
+		dataAt = req // upgrade: no data needed
+	case e.owner >= 0 && e.owner != core:
+		dataAt = req + h.ctrl() + h.data()
+	case e.presentL3 && h.l3.Lookup(lineAddr) != Invalid:
+		h.Stats.L3Hits++
+		dataAt = req + uint64(h.cfg.L3.HitCycles) + h.data()
+	default:
+		h.Stats.L3Misses++
+		h.Stats.MemAccesses++
+		dataAt = req + uint64(h.cfg.L3.HitCycles) + uint64(h.cfg.MemCycles) + h.data()
+	}
+
+	done := dataAt
+	if ackAt > done {
+		done = ackAt
+	}
+	done = clamp(done)
+	e.owner = core
+	e.sharers = 0
+	e.presentL3 = false
+	h.l3.SetState(lineAddr, Invalid)
+	h.releaseLine(lineAddr, done)
+	h.fillPrivate(core, lineAddr, Modified, done)
+	return done
+}
+
+// sealWrite extends the line's busy window to the write's insertion cycle
+// so that later same-line transactions serialize after it.
+func (h *Hierarchy) sealWrite(lineAddr, done uint64) uint64 {
+	if h.busyUntil[lineAddr] < done {
+		h.busyUntil[lineAddr] = done
+	}
+	return done
+}

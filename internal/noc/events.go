@@ -1,0 +1,66 @@
+package noc
+
+import "container/heap"
+
+// Event is a scheduled callback: at Cycle, Fn runs. Events scheduled for the
+// same cycle fire in insertion order, keeping the simulation deterministic.
+type Event struct {
+	Cycle uint64
+	Fn    func()
+	seq   uint64
+}
+
+// EventQueue is a deterministic min-heap of events ordered by (cycle,
+// insertion sequence). It is the spine of the memory-system timing model.
+type EventQueue struct {
+	h   eventHeap
+	seq uint64
+}
+
+// NewEventQueue returns an empty queue.
+func NewEventQueue() *EventQueue { return &EventQueue{} }
+
+// Schedule enqueues fn to run at the given cycle.
+func (q *EventQueue) Schedule(cycle uint64, fn func()) {
+	q.seq++
+	heap.Push(&q.h, Event{Cycle: cycle, Fn: fn, seq: q.seq})
+}
+
+// Len returns the number of pending events.
+func (q *EventQueue) Len() int { return len(q.h) }
+
+// NextCycle returns the cycle of the earliest pending event; ok is false if
+// the queue is empty.
+func (q *EventQueue) NextCycle() (cycle uint64, ok bool) {
+	if len(q.h) == 0 {
+		return 0, false
+	}
+	return q.h[0].Cycle, true
+}
+
+// RunUntil fires, in order, every event scheduled at or before cycle.
+func (q *EventQueue) RunUntil(cycle uint64) {
+	for len(q.h) > 0 && q.h[0].Cycle <= cycle {
+		ev := heap.Pop(&q.h).(Event)
+		ev.Fn()
+	}
+}
+
+type eventHeap []Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].Cycle != h[j].Cycle {
+		return h[i].Cycle < h[j].Cycle
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(Event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,128 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sesa/internal/config"
+)
+
+func tableIIINoC() config.NoC {
+	return config.NoC{SwitchLatency: 6, ControlFlits: 1, DataFlits: 5, FlitCycles: 1}
+}
+
+func TestTableIIILatencies(t *testing.T) {
+	n := New(tableIIINoC(), 0, 1)
+	if d := n.Delay(Control); d != 7 {
+		t.Errorf("control delay = %d, want 7 (6 switch + 1 flit)", d)
+	}
+	if d := n.Delay(Data); d != 11 {
+		t.Errorf("data delay = %d, want 11 (6 switch + 5 flits)", d)
+	}
+}
+
+func TestTrafficAccounting(t *testing.T) {
+	n := New(tableIIINoC(), 0, 1)
+	for i := 0; i < 3; i++ {
+		n.Delay(Control)
+	}
+	for i := 0; i < 2; i++ {
+		n.Delay(Data)
+	}
+	if n.Traffic.ControlMsgs != 3 || n.Traffic.DataMsgs != 2 {
+		t.Errorf("traffic = %+v", n.Traffic)
+	}
+	if n.Traffic.Flits != 3*1+2*5 {
+		t.Errorf("flits = %d, want 13", n.Traffic.Flits)
+	}
+}
+
+func TestJitterDeterministicAndBounded(t *testing.T) {
+	a := New(tableIIINoC(), 8, 42)
+	b := New(tableIIINoC(), 8, 42)
+	c := New(tableIIINoC(), 8, 43)
+	same, diff := true, false
+	for i := 0; i < 200; i++ {
+		da, db, dc := a.Delay(Control), b.Delay(Control), c.Delay(Control)
+		if da != db {
+			same = false
+		}
+		if da != dc {
+			diff = true
+		}
+		if da < 7 || da > 15 {
+			t.Fatalf("jittered delay %d out of [7,15]", da)
+		}
+	}
+	if !same {
+		t.Error("same seed must give the same delays")
+	}
+	if !diff {
+		t.Error("different seeds should give different delays")
+	}
+}
+
+func TestEventQueueOrdering(t *testing.T) {
+	q := NewEventQueue()
+	var order []int
+	q.Schedule(10, func() { order = append(order, 2) })
+	q.Schedule(5, func() { order = append(order, 1) })
+	q.Schedule(10, func() { order = append(order, 3) }) // same cycle: FIFO
+	q.Schedule(20, func() { order = append(order, 4) })
+	q.RunUntil(10)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if q.Len() != 1 {
+		t.Fatalf("pending = %d, want 1", q.Len())
+	}
+	next, ok := q.NextCycle()
+	if !ok || next != 20 {
+		t.Fatalf("next = %d ok=%v", next, ok)
+	}
+	q.RunUntil(100)
+	if len(order) != 4 || order[3] != 4 {
+		t.Fatalf("final order = %v", order)
+	}
+}
+
+func TestEventQueueScheduleDuringRun(t *testing.T) {
+	q := NewEventQueue()
+	var fired []int
+	q.Schedule(1, func() {
+		fired = append(fired, 1)
+		q.Schedule(1, func() { fired = append(fired, 2) }) // same cycle, later seq
+		q.Schedule(5, func() { fired = append(fired, 3) })
+	})
+	q.RunUntil(1)
+	if len(fired) != 2 || fired[1] != 2 {
+		t.Fatalf("nested same-cycle event not fired in order: %v", fired)
+	}
+	q.RunUntil(5)
+	if len(fired) != 3 {
+		t.Fatalf("future nested event lost: %v", fired)
+	}
+}
+
+// TestEventQueueMonotonic is a property test: events always fire in
+// non-decreasing cycle order regardless of insertion order.
+func TestEventQueueMonotonic(t *testing.T) {
+	f := func(cycles []uint16) bool {
+		q := NewEventQueue()
+		var fired []uint64
+		for _, c := range cycles {
+			c := uint64(c)
+			q.Schedule(c, func() { fired = append(fired, c) })
+		}
+		q.RunUntil(1 << 20)
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == len(cycles)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

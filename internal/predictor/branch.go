@@ -1,0 +1,146 @@
+// Package predictor implements the two predictors of Table III: an L-TAGE
+// style branch predictor (Seznec) and the StoreSet memory-dependence
+// predictor (Chrysos & Emer).
+package predictor
+
+// TAGE is a tagged-geometric-history branch predictor: a bimodal base table
+// plus several partially tagged tables indexed by geometrically increasing
+// global-history lengths. It captures the structure of L-TAGE at a scale
+// appropriate for the trace-driven core model.
+type TAGE struct {
+	base  []int8 // bimodal 2-bit counters
+	banks []tageBank
+	hist  uint64 // global history register
+}
+
+type tageBank struct {
+	entries  []tageEntry
+	histBits uint
+}
+
+type tageEntry struct {
+	tag    uint16
+	ctr    int8 // signed 3-bit counter: >=0 predicts taken
+	useful uint8
+}
+
+// TAGE geometry: history lengths roughly geometric (L-TAGE uses 5..640).
+var tageHistLens = []uint{4, 8, 16, 32, 64}
+
+const (
+	tageBaseBits = 12
+	tageBankBits = 10
+	tageTagBits  = 9
+)
+
+// NewTAGE returns a predictor with default geometry.
+func NewTAGE() *TAGE {
+	t := &TAGE{base: make([]int8, 1<<tageBaseBits)}
+	for _, hl := range tageHistLens {
+		t.banks = append(t.banks, tageBank{
+			entries:  make([]tageEntry, 1<<tageBankBits),
+			histBits: hl,
+		})
+	}
+	return t
+}
+
+func foldHistory(hist uint64, bits, out uint) uint64 {
+	if bits > 64 {
+		bits = 64
+	}
+	h := hist & ((1 << bits) - 1)
+	var f uint64
+	for h != 0 {
+		f ^= h & ((1 << out) - 1)
+		h >>= out
+	}
+	return f
+}
+
+func (t *TAGE) bankIndex(b int, pc uint64) (idx uint64, tag uint16) {
+	bank := &t.banks[b]
+	fh := foldHistory(t.hist, bank.histBits, tageBankBits)
+	idx = (pc ^ (pc >> tageBankBits) ^ fh) & ((1 << tageBankBits) - 1)
+	ft := foldHistory(t.hist, bank.histBits, tageTagBits)
+	tag = uint16((pc ^ (pc >> 3) ^ ft<<1) & ((1 << tageTagBits) - 1))
+	return
+}
+
+// Predict returns the predicted direction for the branch at pc.
+func (t *TAGE) Predict(pc uint64) bool {
+	for b := len(t.banks) - 1; b >= 0; b-- {
+		idx, tag := t.bankIndex(b, pc)
+		e := &t.banks[b].entries[idx]
+		if e.tag == tag && e.useful > 0 {
+			return e.ctr >= 0
+		}
+	}
+	return t.base[pc&((1<<tageBaseBits)-1)] >= 0
+}
+
+// Update trains the predictor with the actual outcome and returns whether
+// the prediction was correct.
+func (t *TAGE) Update(pc uint64, taken bool) bool {
+	pred := t.Predict(pc)
+	correct := pred == taken
+
+	// Train the providing component.
+	provider := -1
+	for b := len(t.banks) - 1; b >= 0; b-- {
+		idx, tag := t.bankIndex(b, pc)
+		e := &t.banks[b].entries[idx]
+		if e.tag == tag && e.useful > 0 {
+			provider = b
+			bump(&e.ctr, taken, 3)
+			if correct && e.useful < 3 {
+				e.useful++
+			}
+			break
+		}
+	}
+	if provider < 0 {
+		i := pc & ((1 << tageBaseBits) - 1)
+		bump(&t.base[i], taken, 2)
+	}
+
+	// On a misprediction, allocate in a longer-history bank.
+	if !correct {
+		for b := provider + 1; b < len(t.banks); b++ {
+			idx, tag := t.bankIndex(b, pc)
+			e := &t.banks[b].entries[idx]
+			if e.useful == 0 {
+				*e = tageEntry{tag: tag, useful: 1}
+				if taken {
+					e.ctr = 0
+				} else {
+					e.ctr = -1
+				}
+				break
+			}
+			e.useful--
+		}
+	}
+
+	t.hist = t.hist<<1 | b2u(taken)
+	return correct
+}
+
+func bump(c *int8, up bool, bits uint) {
+	max := int8(1<<(bits-1)) - 1
+	min := -int8(1 << (bits - 1))
+	if up {
+		if *c < max {
+			*c++
+		}
+	} else if *c > min {
+		*c--
+	}
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,115 @@
+package predictor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func accuracy(t *TAGE, pattern func(i int) bool, n int, pc uint64) float64 {
+	correct := 0
+	for i := 0; i < n; i++ {
+		if t.Update(pc, pattern(i)) {
+			correct++
+		}
+	}
+	return float64(correct) / float64(n)
+}
+
+func TestTAGELearnsBias(t *testing.T) {
+	p := NewTAGE()
+	acc := accuracy(p, func(i int) bool { return true }, 1000, 0x400)
+	if acc < 0.95 {
+		t.Errorf("always-taken accuracy = %.2f, want > 0.95", acc)
+	}
+}
+
+func TestTAGELearnsPeriodicPattern(t *testing.T) {
+	p := NewTAGE()
+	// Taken except every 8th: needs history to beat the bimodal table.
+	pattern := func(i int) bool { return i%8 != 0 }
+	accuracy(p, pattern, 2000, 0x400) // warm up
+	acc := accuracy(p, pattern, 2000, 0x400)
+	if acc < 0.9 {
+		t.Errorf("periodic pattern accuracy = %.2f, want > 0.9", acc)
+	}
+}
+
+func TestTAGERandomIsHard(t *testing.T) {
+	p := NewTAGE()
+	seed := uint64(12345)
+	rnd := func(i int) bool {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return seed>>63 == 1
+	}
+	acc := accuracy(p, rnd, 4000, 0x400)
+	if acc > 0.65 {
+		t.Errorf("random pattern accuracy = %.2f, implausibly high", acc)
+	}
+}
+
+func TestTAGESeparatesBranches(t *testing.T) {
+	p := NewTAGE()
+	for i := 0; i < 3000; i++ {
+		p.Update(0x100, true)
+		p.Update(0x200, false)
+	}
+	if !p.Predict(0x100) {
+		t.Error("branch at 0x100 should predict taken")
+	}
+	if p.Predict(0x200) {
+		t.Error("branch at 0x200 should predict not-taken")
+	}
+}
+
+func TestFoldHistoryBounded(t *testing.T) {
+	f := func(hist uint64, bits, out uint8) bool {
+		b := uint(bits%64) + 1
+		o := uint(out%16) + 1
+		return foldHistory(hist, b, o) < (1 << o)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStoreSetMergeRules(t *testing.T) {
+	s := NewStoreSet()
+	if s.PredictDependent(0x10, 0x20) {
+		t.Fatal("untrained predictor must predict independent")
+	}
+	s.TrainViolation(0x10, 0x20)
+	if !s.PredictDependent(0x10, 0x20) {
+		t.Fatal("trained pair must predict dependent")
+	}
+	// A second load colliding with the same store joins the set.
+	s.TrainViolation(0x30, 0x20)
+	if !s.PredictDependent(0x30, 0x20) {
+		t.Error("second load should join the store's set")
+	}
+	// Merging two assigned sets: the smaller ID wins, deterministically.
+	s.TrainViolation(0x40, 0x50) // new set
+	s.TrainViolation(0x10, 0x50) // merge
+	l1, _ := s.SetOf(0x10)
+	s1, _ := s.SetOf(0x50)
+	if l1 != s1 {
+		t.Error("merge did not unify the sets")
+	}
+}
+
+func TestStoreSetClear(t *testing.T) {
+	s := NewStoreSet()
+	s.TrainViolation(0x10, 0x20)
+	s.Clear()
+	if s.PredictDependent(0x10, 0x20) {
+		t.Error("Clear should forget all sets")
+	}
+}
+
+func TestStoreSetUnrelatedPairsIndependent(t *testing.T) {
+	s := NewStoreSet()
+	s.TrainViolation(0x10, 0x20)
+	s.TrainViolation(0x30, 0x40)
+	if s.PredictDependent(0x10, 0x40) {
+		t.Error("loads and stores from different sets must stay independent")
+	}
+}

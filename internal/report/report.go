@@ -1,0 +1,131 @@
+// Package report renders experiment results in machine-readable formats
+// (CSV and JSON), so regenerated tables and figures can be diffed, plotted
+// and archived alongside the paper's.
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"sesa/internal/stats"
+)
+
+// Format selects an output encoding.
+type Format string
+
+// Supported encodings.
+const (
+	Text Format = "text"
+	CSV  Format = "csv"
+	JSON Format = "json"
+)
+
+// ParseFormat validates a -format flag value.
+func ParseFormat(s string) (Format, error) {
+	switch Format(s) {
+	case Text, CSV, JSON:
+		return Format(s), nil
+	}
+	return "", fmt.Errorf("report: unknown format %q (want text, csv or json)", s)
+}
+
+// CharacterizationTable is a Table IV-style result set.
+type CharacterizationTable struct {
+	Title string                   `json:"title"`
+	Rows  []stats.Characterization `json:"rows"`
+}
+
+// WriteCSV emits one row per benchmark with the Table IV columns.
+func (t CharacterizationTable) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"benchmark", "instructions", "loads_pct", "forwarded_pct",
+		"gate_stalls_pct", "avg_stall_cycles", "sa_reexec_pct",
+		"total_reexec_pct", "cycles", "ipc",
+		"stall_rob_pct", "stall_lq_pct", "stall_sq_pct",
+	}); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		rec := []string{
+			r.Benchmark,
+			strconv.FormatUint(r.Instructions, 10),
+			f(r.LoadsPct), f(r.ForwardedPct),
+			f(r.GateStallsPct), f(r.AvgStallCycles), f(r.ReexecutedPct),
+			f(r.TotalReexecPct),
+			strconv.FormatUint(r.Cycles, 10), f(r.IPC),
+			f(r.StallROBPct), f(r.StallLQPct), f(r.StallSQPct),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON emits the table as a JSON document.
+func (t CharacterizationTable) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// ComparisonTable is a Figure 10-style normalized-execution-time matrix.
+type ComparisonTable struct {
+	Title      string   `json:"title"`
+	Benchmarks []string `json:"benchmarks"`
+	Models     []string `json:"models"`
+	// Normalized[model][i] is benchmark i's time normalized to the
+	// baseline model.
+	Normalized map[string][]float64 `json:"normalized"`
+}
+
+// GeoMeans returns the per-model geometric means.
+func (t ComparisonTable) GeoMeans() map[string]float64 {
+	out := make(map[string]float64, len(t.Models))
+	for _, m := range t.Models {
+		out[m] = stats.GeoMean(t.Normalized[m])
+	}
+	return out
+}
+
+// WriteCSV emits one row per benchmark, one column per model, plus a
+// geomean row.
+func (t ComparisonTable) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(append([]string{"benchmark"}, t.Models...)); err != nil {
+		return err
+	}
+	for i, b := range t.Benchmarks {
+		rec := []string{b}
+		for _, m := range t.Models {
+			rec = append(rec, f(t.Normalized[m][i]))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	gm := t.GeoMeans()
+	rec := []string{"geomean"}
+	for _, m := range t.Models {
+		rec = append(rec, f(gm[m]))
+	}
+	if err := cw.Write(rec); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON emits the comparison as a JSON document.
+func (t ComparisonTable) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }

@@ -1,0 +1,119 @@
+package report
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"sesa/internal/stats"
+)
+
+func sampleChars() CharacterizationTable {
+	return CharacterizationTable{
+		Title: "Table IV (test)",
+		Rows: []stats.Characterization{
+			{Benchmark: "barnes", Instructions: 1000, LoadsPct: 31.78, ForwardedPct: 18.3,
+				GateStallsPct: 5.9, AvgStallCycles: 6.4, ReexecutedPct: 0.19, Cycles: 500, IPC: 2},
+			{Benchmark: "x264", Instructions: 2000, LoadsPct: 26.2, ForwardedPct: 3.3,
+				GateStallsPct: 1.4, AvgStallCycles: 13.7, ReexecutedPct: 10.2, Cycles: 900, IPC: 2.2},
+		},
+	}
+}
+
+func TestCharacterizationCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleChars().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("rows = %d, want header + 2", len(recs))
+	}
+	if recs[1][0] != "barnes" || recs[2][0] != "x264" {
+		t.Errorf("benchmark column wrong: %v", recs)
+	}
+	if recs[1][3] != "18.3000" {
+		t.Errorf("forwarded column = %q", recs[1][3])
+	}
+	if len(recs[0]) != len(recs[1]) {
+		t.Error("header and data widths differ")
+	}
+}
+
+func TestCharacterizationJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleChars().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back CharacterizationTable
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Title != "Table IV (test)" || len(back.Rows) != 2 {
+		t.Errorf("round trip lost data: %+v", back)
+	}
+	if back.Rows[0].ForwardedPct != 18.3 {
+		t.Errorf("fwd = %f", back.Rows[0].ForwardedPct)
+	}
+}
+
+func sampleComparison() ComparisonTable {
+	return ComparisonTable{
+		Title:      "Figure 10 (test)",
+		Benchmarks: []string{"a", "b"},
+		Models:     []string{"x86", "370-SLFSoS-key"},
+		Normalized: map[string][]float64{
+			"x86":            {1, 1},
+			"370-SLFSoS-key": {1.1, 1.21},
+		},
+	}
+}
+
+func TestComparisonCSVAndGeoMean(t *testing.T) {
+	c := sampleComparison()
+	gm := c.GeoMeans()
+	if math.Abs(gm["370-SLFSoS-key"]-math.Sqrt(1.1*1.21)) > 1e-9 {
+		t.Errorf("geomean = %f", gm["370-SLFSoS-key"])
+	}
+	var buf bytes.Buffer
+	if err := c.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 { // header + 2 benchmarks + geomean
+		t.Fatalf("rows = %d", len(recs))
+	}
+	if recs[3][0] != "geomean" {
+		t.Errorf("last row = %v", recs[3])
+	}
+}
+
+func TestComparisonJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleComparison().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "370-SLFSoS-key") {
+		t.Error("JSON lost the model names")
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	for _, ok := range []string{"text", "csv", "json"} {
+		if _, err := ParseFormat(ok); err != nil {
+			t.Errorf("%s rejected: %v", ok, err)
+		}
+	}
+	if _, err := ParseFormat("xml"); err == nil {
+		t.Error("xml accepted")
+	}
+}

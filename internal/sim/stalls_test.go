@@ -1,0 +1,186 @@
+package sim
+
+import (
+	"testing"
+
+	"sesa/internal/config"
+	"sesa/internal/isa"
+	"sesa/internal/stats"
+)
+
+// The Figure 9 accounting: dispatch stalls must be attributed to the
+// structure that is actually full.
+
+// TestStallAttributionROB: a long-latency dependency chain fills the ROB.
+func TestStallAttributionROB(t *testing.T) {
+	cfg := config.Skylake(1, config.X86)
+	m := newMachine(t, cfg, "rob-stall")
+	var prog isa.Program
+	for i := 0; i < 600; i++ {
+		prog = append(prog, isa.ALUImm(1, 1, 1, 200)) // serial 200-cycle chain
+		prog = append(prog, isa.ALUImm(2, 2, 1, 0))
+	}
+	if err := m.SetProgram(0, prog); err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, m)
+	c := &m.Stats.Cores[0]
+	if c.StallCycles[stats.StallROB] == 0 {
+		t.Error("expected ROB-full stalls on a serial latency chain")
+	}
+	if c.StallCycles[stats.StallLQ] > c.StallCycles[stats.StallROB] {
+		t.Error("LQ should not dominate: no loads in the program")
+	}
+}
+
+// TestStallAttributionLQ: loads blocked behind one slow load fill the LQ
+// before the ROB (LQ is much smaller).
+func TestStallAttributionLQ(t *testing.T) {
+	cfg := config.Skylake(1, config.X86)
+	m := newMachine(t, cfg, "lq-stall")
+	var prog isa.Program
+	// A pointer-chase-like chain of slow loads, all resident in the LQ,
+	// plus more loads than LQ entries.
+	for i := 0; i < 400; i++ {
+		ld := isa.Load(8, 0x100000+uint64(i)*0x40000) // L2+ misses
+		ld.Src2 = 8                                   // serialize on the previous load
+		prog = append(prog, ld)
+	}
+	if err := m.SetProgram(0, prog); err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, m)
+	c := &m.Stats.Cores[0]
+	if c.StallCycles[stats.StallLQ] == 0 {
+		t.Error("expected LQ-full stalls on a load chain")
+	}
+}
+
+// TestStallAttributionSQ: a burst of slow stores fills the SQ/SB — the
+// radix behaviour of Section VI-B.
+func TestStallAttributionSQ(t *testing.T) {
+	cfg := config.Skylake(1, config.X86)
+	cfg.Mem.RFOPrefetch = false // expose the store misses in the drain
+	m := newMachine(t, cfg, "sq-stall")
+	var prog isa.Program
+	for i := 0; i < 300; i++ {
+		prog = append(prog, isa.StoreImm(0x200000+uint64(i)*64, uint64(i)))
+	}
+	if err := m.SetProgram(0, prog); err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, m)
+	c := &m.Stats.Cores[0]
+	if c.StallCycles[stats.StallSQ] == 0 {
+		t.Error("expected SQ/SB-full stalls on a store streaming burst")
+	}
+	if c.StallCycles[stats.StallSQ] < c.StallCycles[stats.StallROB] {
+		t.Error("SQ/SB should dominate the stall attribution for a store burst")
+	}
+}
+
+// TestJitterChangesTimingNotResults: jitter perturbs cycle counts but the
+// architectural results stay correct.
+func TestJitterChangesTimingNotResults(t *testing.T) {
+	run := func(seed uint64) (uint64, uint64) {
+		cfg := config.Skylake(1, config.SLFSoSKey370)
+		cfg.Jitter = 9
+		cfg.JitterSeed = seed
+		m := newMachine(t, cfg, "jitter")
+		prog := isa.Program{
+			isa.StoreImm(0x100, 5),
+			isa.Load(1, 0x100),
+			isa.Load(2, 0x40000),
+			isa.ALU(3, 1, 2),
+		}
+		if err := m.SetProgram(0, prog); err != nil {
+			t.Fatal(err)
+		}
+		mustRun(t, m)
+		return m.Stats.Cycles, m.Core(0).RegValue(3)
+	}
+	c1, v1 := run(1)
+	c2, v2 := run(2)
+	if v1 != 5 || v2 != 5 {
+		t.Errorf("architectural results changed under jitter: %d %d", v1, v2)
+	}
+	if c1 == c2 {
+		t.Log("note: both seeds produced identical cycle counts (possible but unlikely)")
+	}
+}
+
+// TestRMWContention: 8 cores hammering one counter always sum correctly —
+// coherence, atomicity and the RMW serialization all have to cooperate.
+func TestRMWContention(t *testing.T) {
+	for _, model := range []config.Model{config.X86, config.SLFSoSKey370} {
+		const perCore, cores = 25, 8
+		m := newMachine(t, config.Skylake(cores, model), "rmw-contention")
+		for c := 0; c < cores; c++ {
+			var p isa.Program
+			for i := 0; i < perCore; i++ {
+				p = append(p, isa.RMW(1, 0x7000, 1))
+				p = append(p, isa.ALUImm(2, 2, 1, 0))
+			}
+			if err := m.SetProgram(c, p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := m.Run(10_000_000); err != nil {
+			t.Fatal(err)
+		}
+		if got := m.ReadMemory(0x7000); got != perCore*cores {
+			t.Errorf("%s: counter = %d, want %d", model, got, perCore*cores)
+		}
+	}
+}
+
+// TestPartialSizeForwarding: a 4-byte load forwarded from an 8-byte store
+// and a blocked partial overlap both produce correct values.
+func TestPartialSizeForwarding(t *testing.T) {
+	m := newMachine(t, config.Skylake(1, config.X86), "partial")
+	ld4 := isa.Inst{Op: isa.OpLoad, Dst: 1, Src1: isa.RegNone, Src2: isa.RegNone, Addr: 0x104, Size: 4}
+	st4 := isa.Inst{Op: isa.OpStore, Dst: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone,
+		Addr: 0x108, Size: 4, Imm: 0xCAFE}
+	ld8over := isa.Load(2, 0x108) // 8-byte load over a 4-byte store: blocked, reads memory
+	prog := isa.Program{
+		isa.StoreImm(0x100, 0xAABBCCDD11223344),
+		ld4,     // forwarded: upper half of the store
+		st4,     // narrow store
+		ld8over, // partial overlap: waits for the store's L1 write
+	}
+	if err := m.SetProgram(0, prog); err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, m)
+	if got := m.Core(0).RegValue(1); got != 0xAABBCCDD {
+		t.Errorf("forwarded 4-byte value = %#x, want 0xAABBCCDD", got)
+	}
+	if got := m.Core(0).RegValue(2); got != 0xCAFE {
+		t.Errorf("partial-overlap load = %#x, want 0xCAFE", got)
+	}
+}
+
+// TestCharacterizationPipeline: the stats pipeline from a real run matches
+// manual recomputation.
+func TestCharacterizationPipeline(t *testing.T) {
+	m := newMachine(t, config.Skylake(1, config.SLFSoSKey370), "char")
+	var prog isa.Program
+	for i := 0; i < 100; i++ {
+		prog = append(prog, isa.StoreImm(0x100+uint64(i%8)*8, uint64(i)))
+		prog = append(prog, isa.Load(1, 0x100+uint64(i%8)*8))
+		prog = append(prog, isa.ALUImm(2, 2, 1, 0))
+	}
+	if err := m.SetProgram(0, prog); err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, m)
+	ch := m.Stats.Characterize()
+	tot := m.Stats.Total()
+	wantLoads := 100 * float64(tot.RetiredLoads) / float64(tot.RetiredInsts)
+	if ch.LoadsPct != wantLoads {
+		t.Errorf("LoadsPct = %f, want %f", ch.LoadsPct, wantLoads)
+	}
+	if ch.Instructions != 300 {
+		t.Errorf("instructions = %d, want 300", ch.Instructions)
+	}
+}

@@ -1,0 +1,239 @@
+// Package trace generates the synthetic workloads that stand in for the
+// paper's benchmark suites (SPLASH-3 and PARSEC 3.0 in Table IV top,
+// SPECrate CPU 2017 in Table IV bottom).
+//
+// Each benchmark is described by a Profile whose load and forwarding
+// percentages are taken directly from the paper's measured Table IV
+// characterization; qualitative knobs (working-set size, sharing,
+// synchronization contention, eviction pressure, pointer chasing, branch
+// behaviour) encode the per-benchmark behaviours the paper calls out — the
+// recursion-heavy stack traffic of barnes, the contended condition variable
+// of x264, the eviction storms of 505.mcf, the store-bandwidth pressure of
+// radix. The generator is deterministic for a given (profile, core, seed).
+package trace
+
+// Suite distinguishes the two halves of Table IV.
+type Suite int
+
+// Benchmark suites.
+const (
+	// Parallel is SPLASH-3 + PARSEC 3.0, run on all 8 cores.
+	Parallel Suite = iota
+	// Sequential is SPECrate CPU 2017, run on one core.
+	Sequential
+)
+
+func (s Suite) String() string {
+	if s == Parallel {
+		return "parallel"
+	}
+	return "sequential"
+}
+
+// Profile parameterizes one synthetic benchmark.
+type Profile struct {
+	Name  string
+	Suite Suite
+
+	// LoadPct and ForwardPct are the Table IV targets: retired loads and
+	// forwarded (SLF) loads as a percentage of retired instructions.
+	// ForwardPct is included in LoadPct.
+	LoadPct    float64
+	ForwardPct float64
+
+	// StorePct is the plain-store percentage (forwarding pairs add their
+	// own stores on top).
+	StorePct float64
+
+	// BranchPct is the branch percentage; BranchNoise in [0,1] is the
+	// fraction of branches with data-dependent (hard to predict)
+	// outcomes.
+	BranchPct   float64
+	BranchNoise float64
+
+	// WorkingSetBytes is the private working set each core walks.
+	WorkingSetBytes int
+
+	// StreamPct is the fraction of plain memory accesses that stream
+	// through a region much larger than the caches, creating the
+	// eviction pressure of 505.mcf-like applications.
+	StreamPct   float64
+	StreamBytes int
+
+	// SharedPct is the fraction of plain memory accesses that touch
+	// lines shared by all cores (parallel suites only).
+	SharedPct   float64
+	SharedLines int
+
+	// SyncPct is the percentage of instructions spent in contended
+	// synchronization episodes (atomic RMW plus store-to-load forwarding
+	// on a shared line, the pthread_cond_wait pattern of x264).
+	SyncPct  float64
+	SyncVars int
+
+	// ChasePct is the fraction of loads whose address depends on the
+	// previous load's value (pointer chasing over a memory-sized region),
+	// delaying address resolution and exercising the memory-dependence
+	// machinery.
+	ChasePct float64
+
+	// ConflictPct is the fraction of plain accesses that walk a
+	// page-strided region mapping into few L1 sets, so fills evict lines
+	// whose loads are still in the instruction window — the eviction
+	// behaviour behind 505.mcf's misspeculation rate.
+	ConflictPct float64
+
+	// FwdSlowPct is the fraction of forwarding pairs whose store targets
+	// a streaming (cache-missing) line: its drain is slow, so the SLF
+	// load casts a long SA-speculative shadow. Zero by default; only
+	// workloads the paper singles out for store-atomicity misspeculation
+	// (505.mcf) set it.
+	FwdSlowPct float64
+
+	// ChaseBytes bounds the pointer-chase region; small regions make the
+	// chase cache-resident (compiler-like), huge ones memory-bound
+	// (505.mcf-like). Defaults to 256 KiB.
+	ChaseBytes int
+
+	// ALULat is the extra latency of ALU filler operations.
+	ALULat uint8
+}
+
+// defaults fills zero knobs with representative values.
+func (p Profile) defaults() Profile {
+	if p.StorePct == 0 {
+		p.StorePct = 11
+	}
+	if p.BranchPct == 0 {
+		p.BranchPct = 12
+	}
+	if p.BranchNoise == 0 {
+		p.BranchNoise = 0.08
+	}
+	if p.WorkingSetBytes == 0 {
+		p.WorkingSetBytes = 12 << 10
+	}
+	if p.StreamBytes == 0 {
+		p.StreamBytes = 4 << 20
+	}
+	if p.SharedLines == 0 {
+		p.SharedLines = 512
+	}
+	if p.SyncVars == 0 {
+		p.SyncVars = 4
+	}
+	if p.ChaseBytes == 0 {
+		p.ChaseBytes = 256 << 10
+	}
+	return p
+}
+
+// ParallelProfiles returns the 25 SPLASH-3/PARSEC workloads of Table IV
+// (top), with LoadPct/ForwardPct equal to the paper's measured columns.
+func ParallelProfiles() []Profile {
+	ps := []Profile{
+		{Name: "barnes", LoadPct: 31.780, ForwardPct: 18.336, WorkingSetBytes: 8 << 10, SharedPct: 0.0025},
+		{Name: "blackscholes", LoadPct: 19.745, ForwardPct: 7.272, SharedPct: 0.0006},
+		{Name: "bodytrack", LoadPct: 17.915, ForwardPct: 4.119, SharedPct: 0.0025, SyncPct: 0.1},
+		{Name: "canneal", LoadPct: 24.259, ForwardPct: 2.755, StreamPct: 0.25, SharedPct: 0.006},
+		{Name: "cholesky", LoadPct: 26.320, ForwardPct: 1.604, SharedPct: 0.004},
+		{Name: "dedup", LoadPct: 13.762, ForwardPct: 6.481, SharedPct: 0.0025, SyncPct: 0.05},
+		{Name: "ferret", LoadPct: 20.542, ForwardPct: 3.527, SharedPct: 0.004, SyncPct: 0.1},
+		{Name: "fft", LoadPct: 17.282, ForwardPct: 0.010, StreamPct: 0.15, SharedPct: 0.0025, WorkingSetBytes: 8 << 10},
+		{Name: "fluidanimate", LoadPct: 25.233, ForwardPct: 1.044, SharedPct: 0.005, SyncPct: 0.05},
+		{Name: "fmm", LoadPct: 15.439, ForwardPct: 0.294, SharedPct: 0.0025},
+		{Name: "freqmine", LoadPct: 26.120, ForwardPct: 2.584, SharedPct: 0.0025},
+		{Name: "lu_cb", LoadPct: 22.165, ForwardPct: 0.230, SharedPct: 0.0025},
+		{Name: "lu_ncb", LoadPct: 24.261, ForwardPct: 1.352, SharedPct: 0.006},
+		{Name: "ocean_cp", LoadPct: 30.497, ForwardPct: 0.031, StreamPct: 0.35, SharedPct: 0.004},
+		{Name: "ocean_ncp", LoadPct: 27.233, ForwardPct: 0.064, StreamPct: 0.35, SharedPct: 0.004},
+		{Name: "radiosity", LoadPct: 29.947, ForwardPct: 4.201, SharedPct: 0.004},
+		// radix is dominated by long-latency streaming writes that
+		// stress the SQ/SB (Section VI-B): store-heavy, fully
+		// streaming stores.
+		{Name: "radix", LoadPct: 28.182, ForwardPct: 1.411, StorePct: 24, StreamPct: 0.85, SharedPct: 0.0025, WorkingSetBytes: 8 << 10},
+		{Name: "raytrace", LoadPct: 28.501, ForwardPct: 5.625, SharedPct: 0.0025},
+		{Name: "streamcluster", LoadPct: 29.899, ForwardPct: 0.031, StreamPct: 0.5, SharedPct: 0.005},
+		{Name: "swaptions", LoadPct: 24.576, ForwardPct: 4.498, SharedPct: 0.0006},
+		{Name: "vips", LoadPct: 18.061, ForwardPct: 1.962, SharedPct: 0.0025},
+		{Name: "volrend", LoadPct: 24.514, ForwardPct: 5.097, SharedPct: 0.0025},
+		{Name: "water_nsquared", LoadPct: 26.834, ForwardPct: 7.687, SharedPct: 0.0025},
+		{Name: "water_spatial", LoadPct: 27.851, ForwardPct: 8.669, SharedPct: 0.0025},
+		// x264's misspeculation comes from store-to-load forwarding on
+		// a highly contended synchronization variable inside
+		// pthread_cond_wait (Section VI-A).
+		{Name: "x264", LoadPct: 26.209, ForwardPct: 3.314, SyncPct: 0.6, SyncVars: 3, SharedPct: 0.006},
+	}
+	for i := range ps {
+		ps[i].Suite = Parallel
+		ps[i] = ps[i].defaults()
+	}
+	return ps
+}
+
+// SequentialProfiles returns the 36 SPECrate CPU 2017 workloads of Table IV
+// (bottom).
+func SequentialProfiles() []Profile {
+	ps := []Profile{
+		{Name: "500.perlbench_1", LoadPct: 23.866, ForwardPct: 7.527},
+		{Name: "500.perlbench_2", LoadPct: 29.159, ForwardPct: 11.192},
+		{Name: "500.perlbench_3", LoadPct: 7.889, ForwardPct: 1.075},
+		{Name: "502.gcc_1", LoadPct: 24.143, ForwardPct: 8.032, ChasePct: 0.1},
+		{Name: "502.gcc_2", LoadPct: 24.132, ForwardPct: 8.027, ChasePct: 0.1},
+		{Name: "502.gcc_3", LoadPct: 24.955, ForwardPct: 8.300, ChasePct: 0.1},
+		{Name: "502.gcc_4", LoadPct: 25.847, ForwardPct: 8.044, ChasePct: 0.1},
+		{Name: "502.gcc_5", LoadPct: 25.847, ForwardPct: 8.043, ChasePct: 0.1},
+		{Name: "503.bwaves_1", LoadPct: 30.147, ForwardPct: 1.722, StreamPct: 0.3},
+		{Name: "503.bwaves_2", LoadPct: 30.147, ForwardPct: 1.722, StreamPct: 0.3},
+		{Name: "503.bwaves_3", LoadPct: 33.200, ForwardPct: 2.094, StreamPct: 0.3},
+		{Name: "503.bwaves_4", LoadPct: 30.310, ForwardPct: 1.765, StreamPct: 0.3},
+		// 505.mcf: frequent cache evictions hit SA-speculative loads in
+		// the LQ (Section VI-A): huge pointer-chased working set.
+		{Name: "505.mcf", LoadPct: 29.973, ForwardPct: 4.958, StreamPct: 0.3, StreamBytes: 16 << 20, ChasePct: 0.35, ConflictPct: 0.03, FwdSlowPct: 0.7, ChaseBytes: 16 << 20},
+		{Name: "507.cactuBSSN", LoadPct: 31.857, ForwardPct: 5.593, StreamPct: 0.2},
+		{Name: "508.namd", LoadPct: 23.369, ForwardPct: 2.448},
+		{Name: "510.parest", LoadPct: 33.230, ForwardPct: 1.852, StreamPct: 0.15},
+		{Name: "511.povray", LoadPct: 30.513, ForwardPct: 10.185},
+		// 519.lbm: streaming writes with forwarding; the case where
+		// 370-NoSpec can beat 370-SLFSpec (Section VI-B).
+		{Name: "519.lbm", LoadPct: 20.561, ForwardPct: 7.695, StorePct: 22, StreamPct: 0.7, WorkingSetBytes: 8 << 10},
+		{Name: "520.omnetpp", LoadPct: 27.695, ForwardPct: 7.978, ChasePct: 0.2, StreamPct: 0.2},
+		{Name: "521.wrf", LoadPct: 25.615, ForwardPct: 2.004, StreamPct: 0.2},
+		{Name: "523.xalancbmk", LoadPct: 26.679, ForwardPct: 2.804, ChasePct: 0.15},
+		{Name: "525.x264_1", LoadPct: 22.529, ForwardPct: 3.381},
+		{Name: "525.x264_2", LoadPct: 23.605, ForwardPct: 1.397},
+		{Name: "525.x264_3", LoadPct: 22.722, ForwardPct: 2.841},
+		{Name: "526.blender", LoadPct: 23.531, ForwardPct: 6.116},
+		{Name: "527.cam4", LoadPct: 22.683, ForwardPct: 0.001, StreamPct: 0.15},
+		{Name: "531.deepsjeng", LoadPct: 22.159, ForwardPct: 6.743, BranchNoise: 0.2},
+		{Name: "538.imagick", LoadPct: 18.552, ForwardPct: 0.103},
+		{Name: "541.leela", LoadPct: 23.706, ForwardPct: 5.085, BranchNoise: 0.18},
+		{Name: "544.nab", LoadPct: 22.047, ForwardPct: 4.176},
+		{Name: "548.exchange2", LoadPct: 24.982, ForwardPct: 4.140, BranchPct: 18},
+		{Name: "549.fotonik3d", LoadPct: 20.950, ForwardPct: 7.703, StreamPct: 0.3},
+		{Name: "554.roms", LoadPct: 25.549, ForwardPct: 3.700, StreamPct: 0.25},
+		{Name: "557.xz_1", LoadPct: 14.427, ForwardPct: 3.312},
+		{Name: "557.xz_2", LoadPct: 10.098, ForwardPct: 1.064},
+		{Name: "557.xz_3", LoadPct: 12.466, ForwardPct: 0.981},
+	}
+	for i := range ps {
+		ps[i].Suite = Sequential
+		ps[i] = ps[i].defaults()
+	}
+	return ps
+}
+
+// Lookup finds a profile by name in either suite.
+func Lookup(name string) (Profile, bool) {
+	for _, p := range ParallelProfiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	for _, p := range SequentialProfiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}

@@ -1,0 +1,342 @@
+// Package tracefile serializes programs and workloads to a line-oriented
+// text format, so generated traces can be inspected, archived and replayed
+// byte-identically — the artifact-evaluation workflow for a trace-driven
+// simulator.
+//
+// Format (one instruction per line, '#' comments, blank lines ignored):
+//
+//	# sesa trace v1
+//	thread 0
+//	ld   r1, [0x1000]            ; optional "size=4" and "dep=r8" suffixes
+//	st   [0x1008], 42
+//	st   [0x1010], r3
+//	alu  r2, r1, r0, imm=5, lat=2
+//	br   pc=0x400, taken
+//	fence
+//	rmw  r1, [0x2000], add=1
+//	thread 1
+//	...
+package tracefile
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"sesa/internal/isa"
+)
+
+// Header is the first line of every trace file.
+const Header = "# sesa trace v1"
+
+// Write serializes the per-thread programs.
+func Write(w io.Writer, threads []isa.Program) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, Header)
+	for ti, p := range threads {
+		fmt.Fprintf(bw, "thread %d\n", ti)
+		for _, in := range p {
+			if err := writeInst(bw, in); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func writeInst(w io.Writer, in isa.Inst) error {
+	var err error
+	switch in.Op {
+	case isa.OpLoad:
+		_, err = fmt.Fprintf(w, "ld r%d, [%#x]%s%s%s\n",
+			in.Dst, in.Addr, sizeSuffix(in), depSuffix(in), pcSuffix(in))
+	case isa.OpStore:
+		if in.Src1 == isa.RegNone {
+			_, err = fmt.Fprintf(w, "st [%#x], %d%s%s%s\n",
+				in.Addr, in.Imm, sizeSuffix(in), depSuffix(in), pcSuffix(in))
+		} else {
+			_, err = fmt.Fprintf(w, "st [%#x], r%d%s%s%s\n",
+				in.Addr, in.Src1, sizeSuffix(in), depSuffix(in), pcSuffix(in))
+		}
+	case isa.OpALU:
+		_, err = fmt.Fprintf(w, "alu r%s, r%s, r%s, imm=%d, lat=%d%s\n",
+			regStr(in.Dst), regStr(in.Src1), regStr(in.Src2), in.Imm, in.Lat, pcSuffix(in))
+	case isa.OpBranch:
+		taken := "nottaken"
+		if in.Taken {
+			taken = "taken"
+		}
+		_, err = fmt.Fprintf(w, "br pc=%#x, %s\n", in.PC, taken)
+	case isa.OpFence:
+		_, err = fmt.Fprintln(w, "fence")
+	case isa.OpRMW:
+		_, err = fmt.Fprintf(w, "rmw r%d, [%#x], add=%d%s\n", in.Dst, in.Addr, in.Imm, pcSuffix(in))
+	case isa.OpNop:
+		_, err = fmt.Fprintln(w, "nop")
+	default:
+		return fmt.Errorf("tracefile: cannot serialize op %v", in.Op)
+	}
+	return err
+}
+
+func regStr(r isa.Reg) string {
+	if r == isa.RegNone {
+		return "_"
+	}
+	return strconv.Itoa(int(r))
+}
+
+func sizeSuffix(in isa.Inst) string {
+	if in.Size == 0 || in.Size == 8 {
+		return ""
+	}
+	return fmt.Sprintf(", size=%d", in.Size)
+}
+
+func depSuffix(in isa.Inst) string {
+	if in.Src2 == isa.RegNone {
+		return ""
+	}
+	return fmt.Sprintf(", dep=r%d", in.Src2)
+}
+
+func pcSuffix(in isa.Inst) string {
+	if in.PC == 0 {
+		return ""
+	}
+	return fmt.Sprintf(", pc=%#x", in.PC)
+}
+
+// Read parses a trace file back into per-thread programs.
+func Read(r io.Reader) ([]isa.Program, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var threads []isa.Program
+	cur := -1
+	lineNo := 0
+	sawHeader := false
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if !sawHeader {
+				if line != Header {
+					return nil, fmt.Errorf("tracefile:%d: bad header %q", lineNo, line)
+				}
+				sawHeader = true
+			}
+			continue
+		}
+		if !sawHeader {
+			return nil, fmt.Errorf("tracefile:%d: missing %q header", lineNo, Header)
+		}
+		if strings.HasPrefix(line, "thread ") {
+			id, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(line, "thread ")))
+			if err != nil || id != len(threads) {
+				return nil, fmt.Errorf("tracefile:%d: threads must be declared in order, got %q", lineNo, line)
+			}
+			threads = append(threads, isa.Program{})
+			cur = id
+			continue
+		}
+		if cur < 0 {
+			return nil, fmt.Errorf("tracefile:%d: instruction before any thread declaration", lineNo)
+		}
+		in, err := parseInst(line)
+		if err != nil {
+			return nil, fmt.Errorf("tracefile:%d: %v", lineNo, err)
+		}
+		threads[cur] = append(threads[cur], in)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for ti, p := range threads {
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("tracefile: thread %d: %v", ti, err)
+		}
+	}
+	return threads, nil
+}
+
+// parseInst parses one instruction line.
+func parseInst(line string) (isa.Inst, error) {
+	op, rest, _ := strings.Cut(line, " ")
+	fields := splitFields(rest)
+	switch op {
+	case "ld":
+		if len(fields) < 2 {
+			return isa.Inst{}, fmt.Errorf("ld needs a register and an address")
+		}
+		dst, err := parseReg(fields[0])
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		addr, err := parseAddr(fields[1])
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		in := isa.Load(dst, addr)
+		return applyOptions(in, fields[2:])
+	case "st":
+		if len(fields) < 2 {
+			return isa.Inst{}, fmt.Errorf("st needs an address and a value")
+		}
+		addr, err := parseAddr(fields[0])
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		var in isa.Inst
+		if strings.HasPrefix(fields[1], "r") {
+			src, err := parseReg(fields[1])
+			if err != nil {
+				return isa.Inst{}, err
+			}
+			in = isa.StoreReg(addr, src)
+		} else {
+			v, err := parseUint(fields[1])
+			if err != nil {
+				return isa.Inst{}, err
+			}
+			in = isa.StoreImm(addr, v)
+		}
+		return applyOptions(in, fields[2:])
+	case "alu":
+		if len(fields) < 3 {
+			return isa.Inst{}, fmt.Errorf("alu needs three register operands")
+		}
+		dst, err := parseRegOrNone(fields[0])
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		s1, err := parseRegOrNone(fields[1])
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		s2, err := parseRegOrNone(fields[2])
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		in := isa.Inst{Op: isa.OpALU, Dst: dst, Src1: s1, Src2: s2}
+		return applyOptions(in, fields[3:])
+	case "br":
+		in := isa.Inst{Op: isa.OpBranch, Dst: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone}
+		return applyOptions(in, fields)
+	case "fence":
+		return isa.Fence(), nil
+	case "nop":
+		return isa.Nop(), nil
+	case "rmw":
+		if len(fields) < 2 {
+			return isa.Inst{}, fmt.Errorf("rmw needs a register and an address")
+		}
+		dst, err := parseReg(fields[0])
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		addr, err := parseAddr(fields[1])
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		in := isa.RMW(dst, addr, 0)
+		return applyOptions(in, fields[2:])
+	}
+	return isa.Inst{}, fmt.Errorf("unknown mnemonic %q", op)
+}
+
+// applyOptions parses key=value suffix fields.
+func applyOptions(in isa.Inst, opts []string) (isa.Inst, error) {
+	for _, o := range opts {
+		key, val, ok := strings.Cut(o, "=")
+		if !ok {
+			switch o {
+			case "taken":
+				in.Taken = true
+				continue
+			case "nottaken":
+				in.Taken = false
+				continue
+			}
+			return in, fmt.Errorf("bad option %q", o)
+		}
+		switch key {
+		case "size":
+			v, err := parseUint(val)
+			if err != nil {
+				return in, err
+			}
+			in.Size = uint8(v)
+		case "dep":
+			r, err := parseReg(val)
+			if err != nil {
+				return in, err
+			}
+			in.Src2 = r
+		case "imm", "add":
+			v, err := parseUint(val)
+			if err != nil {
+				return in, err
+			}
+			in.Imm = v
+		case "lat":
+			v, err := parseUint(val)
+			if err != nil {
+				return in, err
+			}
+			in.Lat = uint8(v)
+		case "pc":
+			v, err := parseUint(val)
+			if err != nil {
+				return in, err
+			}
+			in.PC = v
+		default:
+			return in, fmt.Errorf("unknown option %q", key)
+		}
+	}
+	return in, nil
+}
+
+func splitFields(s string) []string {
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func parseReg(s string) (isa.Reg, error) {
+	if !strings.HasPrefix(s, "r") {
+		return 0, fmt.Errorf("expected register, got %q", s)
+	}
+	v, err := strconv.Atoi(s[1:])
+	if err != nil || v < 0 || v >= isa.NumRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return isa.Reg(v), nil
+}
+
+func parseRegOrNone(s string) (isa.Reg, error) {
+	if s == "r_" || s == "_" {
+		return isa.RegNone, nil
+	}
+	return parseReg(s)
+}
+
+func parseAddr(s string) (uint64, error) {
+	s = strings.TrimPrefix(strings.TrimSuffix(s, "]"), "[")
+	return parseUint(s)
+}
+
+func parseUint(s string) (uint64, error) {
+	return strconv.ParseUint(s, 0, 64)
+}

@@ -1,0 +1,94 @@
+package sesa
+
+import (
+	"sesa/internal/axiomatic"
+	"sesa/internal/checker"
+	"sesa/internal/litmus"
+)
+
+// CheckerModel selects an operational memory model for exhaustive outcome
+// enumeration.
+type CheckerModel = checker.Model
+
+// The three operational models of the checker.
+const (
+	// CheckerX86TSO: TSO with store-to-load forwarding (rMCA).
+	CheckerX86TSO = checker.X86TSO
+	// Checker370TSO: store-atomic TSO without forwarding (MCA).
+	Checker370TSO = checker.TSO370
+	// CheckerSC: sequential consistency.
+	CheckerSC = checker.SC
+)
+
+// Outcome is a canonical final-state observation; OutcomeSet a set of them.
+type (
+	Outcome    = checker.Outcome
+	OutcomeSet = checker.OutcomeSet
+)
+
+// CheckerProgram is a litmus-style multithreaded program with observables.
+type CheckerProgram = checker.Program
+
+// RegObs and MemObs declare the observables of a CheckerProgram.
+type (
+	RegObs = checker.RegObs
+	MemObs = checker.MemObs
+)
+
+// Enumerate exhaustively explores every interleaving of p under the model
+// and returns the reachable outcomes — the paper's ConsistencyChecker.
+func Enumerate(p CheckerProgram, m CheckerModel) OutcomeSet { return checker.Enumerate(p, m) }
+
+// CompareModels returns outcomes allowed under a but not b, e.g. the
+// store-atomicity gap between x86 and 370.
+func CompareModels(p CheckerProgram, a, b CheckerModel) []Outcome { return checker.Compare(p, a, b) }
+
+// LitmusTest is a named litmus test with its paper-highlighted outcome.
+type LitmusTest = litmus.Test
+
+// LitmusResult is the outcome histogram of simulator runs of a test.
+type LitmusResult = litmus.Result
+
+// LitmusTests returns the paper's suite: mp, n6, iriw, fig5, fig4, sb,
+// sb+fence, lb, wrc.
+func LitmusTests() []LitmusTest { return litmus.Tests() }
+
+// GetLitmus returns the named litmus test.
+func GetLitmus(name string) (LitmusTest, error) { return litmus.Get(name) }
+
+// RunLitmus executes a litmus test on the cycle-accurate simulator iters
+// times with varied timing, collecting the outcome histogram.
+func RunLitmus(t LitmusTest, model Model, iters int, seed uint64) (*LitmusResult, error) {
+	return litmus.Run(t, model, iters, seed)
+}
+
+// WithSBPressure returns a variant of the test whose forwarding threads
+// first fill their store buffers with scratch-line stores, making the
+// store-atomicity signatures observable on the timing simulator (the
+// backlog real programs always have).
+func WithSBPressure(t LitmusTest, n int) LitmusTest { return litmus.WithSBPressure(t, n) }
+
+// SimCheckerModel maps a machine model to the operational model bounding
+// its outcomes (x86 -> x86-TSO; every 370 machine -> store-atomic TSO).
+func SimCheckerModel(m Model) CheckerModel { return litmus.CheckerModelFor(m) }
+
+// AxiomaticModel selects the Alglave-style axiomatic formulation: candidate
+// executions (rf + write serialization) filtered by uniproc, atomicity and
+// ghb-acyclicity. Store atomicity is exactly "rfi is a global edge" — the
+// paper's Figure 2 cycle argument.
+type AxiomaticModel = axiomatic.Model
+
+// The three axiomatic models.
+const (
+	AxX86TSO = axiomatic.X86TSO
+	Ax370TSO = axiomatic.TSO370
+	AxSC     = axiomatic.SC
+)
+
+// EnumerateAxiomatic explores every candidate execution of p under the
+// axiomatic model and returns the allowed outcomes. It agrees with
+// Enumerate (the operational formulation) on every litmus test in the
+// suite; the two engines validate each other.
+func EnumerateAxiomatic(p CheckerProgram, m AxiomaticModel) (OutcomeSet, error) {
+	return axiomatic.Enumerate(p, m)
+}

@@ -1,0 +1,153 @@
+// Package sesa is a cycle-level reproduction of "Speculative Enforcement of
+// Store Atomicity" (Ros & Kaxiras, MICRO 2020).
+//
+// It provides:
+//
+//   - a trace-driven multicore simulator with Skylake-like out-of-order
+//     cores, a write-atomic MESI directory hierarchy and the paper's five
+//     consistency-model implementations (x86, 370-NoSpec, 370-SLFSpec,
+//     370-SLFSoS, 370-SLFSoS-key), built around SLF loads, SA-speculative
+//     loads and the retire gate;
+//   - an exhaustive operational consistency checker (x86-TSO, store-atomic
+//     370 TSO, SC) that enumerates all outcomes of litmus programs;
+//   - the paper's litmus tests (mp, n6, iriw, Figure 5, ...) runnable on
+//     both engines;
+//   - synthetic workload profiles for every benchmark in Table IV, and the
+//     harnesses that regenerate the paper's tables and figures.
+//
+// Quick start:
+//
+//	sys, _ := sesa.NewSystem(sesa.DefaultConfig(sesa.SLFSoSKey370), "demo")
+//	sys.LoadProgram(0, sesa.Program{
+//		sesa.StoreImm(0x100, 1),
+//		sesa.Load(1, 0x100), // forwarded: an SLF load
+//	})
+//	_ = sys.Run(1_000_000)
+//	fmt.Println(sys.Core(0).RegValue(1))
+package sesa
+
+import (
+	"sesa/internal/config"
+	"sesa/internal/core"
+	"sesa/internal/isa"
+	"sesa/internal/mem"
+	"sesa/internal/sim"
+	"sesa/internal/stats"
+)
+
+// Model selects the consistency-model implementation (Section V).
+type Model = config.Model
+
+// The five evaluated machines.
+const (
+	X86          = config.X86
+	NoSpec370    = config.NoSpec370
+	SLFSpec370   = config.SLFSpec370
+	SLFSoS370    = config.SLFSoS370
+	SLFSoSKey370 = config.SLFSoSKey370
+)
+
+// AllModels lists the five machines in the paper's order.
+func AllModels() []Model { return config.AllModels() }
+
+// Config is the machine configuration (Table III).
+type Config = config.Config
+
+// DefaultConfig returns the paper's evaluated machine: 8 Skylake-like cores
+// with the Table III memory hierarchy.
+func DefaultConfig(m Model) Config { return config.Default(m) }
+
+// SkylakeConfig returns the Table III configuration with a custom core
+// count.
+func SkylakeConfig(cores int, m Model) Config { return config.Skylake(cores, m) }
+
+// SmallConfig returns a scaled-down machine with tiny caches, useful for
+// experimentation and tests that need to provoke evictions.
+func SmallConfig(cores int, m Model) Config { return config.Small(cores, m) }
+
+// Program is a per-core instruction trace.
+type Program = isa.Program
+
+// Inst is one micro-operation.
+type Inst = isa.Inst
+
+// Reg names an architectural register.
+type Reg = isa.Reg
+
+// RegNone marks an unused register operand.
+const RegNone = isa.RegNone
+
+// Instruction constructors, re-exported from the micro-ISA.
+var (
+	// Load builds an 8-byte load from addr into dst.
+	Load = isa.Load
+	// StoreImm builds an 8-byte store of an immediate to addr.
+	StoreImm = isa.StoreImm
+	// StoreReg builds a store of a register to addr.
+	StoreReg = isa.StoreReg
+	// ALU builds dst = src1 + src2.
+	ALU = isa.ALU
+	// ALUImm builds dst = src1 + imm with extra latency.
+	ALUImm = isa.ALUImm
+	// Fence builds a full memory fence (mfence).
+	Fence = isa.Fence
+	// RMW builds an atomic fetch-and-add.
+	RMW = isa.RMW
+	// Branch builds a conditional branch with the trace outcome.
+	Branch = isa.Branch
+	// Nop builds a no-op.
+	Nop = isa.Nop
+)
+
+// Stats aggregates a run's measurements; Characterization is one Table IV
+// row derived from them.
+type (
+	Stats            = stats.Machine
+	CoreStats        = stats.Core
+	Characterization = stats.Characterization
+)
+
+// MemStats exposes the memory-hierarchy counters.
+type MemStats = mem.Stats
+
+// System is one simulated multicore machine.
+type System struct {
+	m *sim.Machine
+}
+
+// NewSystem builds a machine; workload names the run in statistics.
+func NewSystem(cfg Config, workload string) (*System, error) {
+	m, err := sim.New(cfg, workload)
+	if err != nil {
+		return nil, err
+	}
+	return &System{m: m}, nil
+}
+
+// LoadProgram installs the trace for core i.
+func (s *System) LoadProgram(i int, p Program) error { return s.m.SetProgram(i, p) }
+
+// InitMemory sets an initial 8-byte value.
+func (s *System) InitMemory(addr, val uint64) { s.m.InitMemory(addr, val) }
+
+// ReadMemory reads the current memory-order value at addr.
+func (s *System) ReadMemory(addr uint64) uint64 { return s.m.ReadMemory(addr) }
+
+// Core returns core i for register inspection.
+func (s *System) Core(i int) *core.Core { return s.m.Core(i) }
+
+// Run executes until all cores finish or maxCycles elapse.
+func (s *System) Run(maxCycles uint64) error { return s.m.Run(maxCycles) }
+
+// Cycles returns the machine execution time so far.
+func (s *System) Cycles() uint64 { return s.m.Cycle() }
+
+// Stats returns the run's statistics.
+func (s *System) Stats() *Stats { return s.m.Stats }
+
+// MemoryStats returns the memory-hierarchy counters.
+func (s *System) MemoryStats() MemStats { return s.m.Hierarchy().Stats }
+
+// GateStorageBits returns the hardware cost of the SLFSoS-key mechanism for
+// a configuration (Section IV-D: 640 bits for the Table III machine).
+func GateStorageBits(cfg Config) int { return cfg.GateStorageBits() }
