@@ -17,23 +17,40 @@ const (
 	benchSeed  = 42
 )
 
-// runSuite executes every profile of the suite under all five models and
-// returns normalized execution times and characterizations per model.
-func runSuite(b *testing.B, s sesa.Suite, insts int) (norm map[string][]float64, chars map[string][]sesa.Characterization) {
-	b.Helper()
+// suiteJobs builds the (profile × model) sweep grid for the suite in
+// row-major order.
+func suiteJobs(s sesa.Suite, insts int) ([]sesa.Profile, []sesa.SweepJob) {
 	profiles := sesa.ParallelProfiles()
 	if s == sesa.SequentialSuite {
 		profiles = sesa.SequentialProfiles()
 	}
+	var jobs []sesa.SweepJob
+	for _, p := range profiles {
+		for _, model := range sesa.AllModels() {
+			jobs = append(jobs, sesa.SweepJob{Profile: p, Model: model, InstPerCore: insts, Seed: benchSeed})
+		}
+	}
+	return profiles, jobs
+}
+
+// runSuite executes every profile of the suite under all five models — fanned
+// across GOMAXPROCS workers over one shared set of cached traces — and
+// returns normalized execution times and characterizations per model.
+func runSuite(b *testing.B, s sesa.Suite, insts int) (norm map[string][]float64, chars map[string][]sesa.Characterization) {
+	b.Helper()
+	profiles, jobs := suiteJobs(s, insts)
+	results, _ := sesa.RunSweep(jobs, 0)
 	norm = make(map[string][]float64)
 	chars = make(map[string][]sesa.Characterization)
-	for _, p := range profiles {
+	models := sesa.AllModels()
+	for i := range profiles {
 		var base uint64
-		for _, model := range sesa.AllModels() {
-			ch, _, err := sesa.RunBenchmark(p.Name, model, insts, benchSeed)
-			if err != nil {
-				b.Fatal(err)
+		for j, model := range models {
+			res := results[i*len(models)+j]
+			if res.Err != nil {
+				b.Fatal(res.Err)
 			}
+			ch := res.Char
 			if model == sesa.X86 {
 				base = ch.Cycles
 			}
@@ -139,14 +156,19 @@ func table4(b *testing.B, s sesa.Suite) {
 	if s == sesa.SequentialSuite {
 		profiles = sesa.SequentialProfiles()
 	}
+	jobs := make([]sesa.SweepJob, len(profiles))
+	for i, p := range profiles {
+		jobs[i] = sesa.SweepJob{Profile: p, Model: sesa.SLFSoSKey370, InstPerCore: benchInsts, Seed: benchSeed}
+	}
 	var fwd, gate, stallCyc, reexec []float64
 	for i := 0; i < b.N; i++ {
 		fwd, gate, stallCyc, reexec = nil, nil, nil, nil
-		for _, p := range profiles {
-			ch, _, err := sesa.RunBenchmark(p.Name, sesa.SLFSoSKey370, benchInsts, benchSeed)
-			if err != nil {
-				b.Fatal(err)
+		results, _ := sesa.RunSweep(jobs, 0)
+		for _, res := range results {
+			if res.Err != nil {
+				b.Fatal(res.Err)
 			}
+			ch := res.Char
 			fwd = append(fwd, ch.ForwardedPct)
 			gate = append(gate, ch.GateStallsPct)
 			if ch.GateStallsPct > 0 {

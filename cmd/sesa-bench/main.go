@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"sesa"
 	"sesa/internal/report"
@@ -26,7 +27,31 @@ var (
 	seed   = flag.Uint64("seed", 42, "trace seed")
 	suite  = flag.String("suite", "both", "parallel, sequential or both")
 	format = flag.String("format", "text", "output format for -table 4 and -fig 10: text, csv or json")
+	jobs   = flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel simulation workers (1 = serial)")
+	quiet  = flag.Bool("q", false, "suppress the sweep summary on stderr")
 )
+
+// sweep fans the experiment jobs across -jobs workers. Results come back in
+// job order, so stdout is byte-identical for any worker count; the
+// wall-clock summary goes to stderr.
+func sweep(js []sesa.SweepJob) []sesa.SweepResult {
+	results, summary := sesa.RunSweep(js, *jobs)
+	if !*quiet {
+		fmt.Fprintln(os.Stderr, summary)
+	}
+	return results
+}
+
+// benchmarkJobs builds the (profile × model) job grid in row-major order.
+func benchmarkJobs(profiles []sesa.Profile, models []sesa.Model) []sesa.SweepJob {
+	js := make([]sesa.SweepJob, 0, len(profiles)*len(models))
+	for _, p := range profiles {
+		for _, m := range models {
+			js = append(js, sesa.SweepJob{Profile: p, Model: m, InstPerCore: *n, Seed: *seed})
+		}
+	}
+	return js
+}
 
 func main() {
 	table := flag.Int("table", 0, "regenerate a table (1-4)")
@@ -144,13 +169,12 @@ func tableIV(s sesa.Suite) {
 		Title: fmt.Sprintf("Table IV (%s): characterization under 370-SLFSoS-key, %d instructions/core, seed %d",
 			s, *n, *seed),
 	}
-	for _, p := range profiles(s) {
-		ch, _, err := sesa.RunBenchmark(p.Name, sesa.SLFSoSKey370, *n, *seed)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+	for _, res := range sweep(benchmarkJobs(profiles(s), []sesa.Model{sesa.SLFSoSKey370})) {
+		if res.Err != nil {
+			fmt.Fprintf(os.Stderr, "FAILED %s: %v\n", res.Job.Profile.Name, res.Err)
+			continue
 		}
-		table.Rows = append(table.Rows, ch)
+		table.Rows = append(table.Rows, res.Char)
 	}
 	switch fmtSel {
 	case report.CSV:
@@ -205,18 +229,23 @@ func figLitmus(fig int) {
 func fig9(s sesa.Suite) {
 	fmt.Printf("Figure 9 (%s): %% cycles stalled on full ROB / LQ / SQ-SB, %d instructions/core\n", s, *n)
 	fmt.Printf("%-18s", "benchmark")
-	for _, m := range sesa.AllModels() {
+	models := sesa.AllModels()
+	for _, m := range models {
 		fmt.Printf(" %20s", m)
 	}
 	fmt.Println()
-	for _, p := range profiles(s) {
+	ps := profiles(s)
+	results := sweep(benchmarkJobs(ps, models))
+	for i, p := range ps {
 		fmt.Printf("%-18s", p.Name)
-		for _, model := range sesa.AllModels() {
-			ch, _, err := sesa.RunBenchmark(p.Name, model, *n, *seed)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+		for j := range models {
+			res := results[i*len(models)+j]
+			if res.Err != nil {
+				fmt.Fprintf(os.Stderr, "FAILED %s on %s: %v\n", p.Name, models[j], res.Err)
+				fmt.Printf("  %17s ", "-")
+				continue
 			}
+			ch := res.Char
 			fmt.Printf("  %5.1f/%5.1f/%5.1f ", ch.StallROBPct, ch.StallLQPct, ch.StallSQPct)
 		}
 		fmt.Println()
@@ -233,18 +262,29 @@ func fig10(s sesa.Suite) {
 		Title:      fmt.Sprintf("Figure 10 (%s): execution time normalized to x86, %d instructions/core", s, *n),
 		Normalized: map[string][]float64{},
 	}
-	for _, m := range sesa.AllModels() {
+	models := sesa.AllModels()
+	for _, m := range models {
 		table.Models = append(table.Models, m.String())
 	}
-	for _, p := range profiles(s) {
+	ps := profiles(s)
+	results := sweep(benchmarkJobs(ps, models))
+	for i, p := range ps {
+		// A failed model leaves the benchmark's row incomparable: skip the
+		// whole row (deterministically) and report the failures on stderr.
+		failed := false
+		for j := range models {
+			if err := results[i*len(models)+j].Err; err != nil {
+				fmt.Fprintf(os.Stderr, "FAILED %s on %s: %v\n", p.Name, models[j], err)
+				failed = true
+			}
+		}
+		if failed {
+			continue
+		}
 		table.Benchmarks = append(table.Benchmarks, p.Name)
 		var base uint64
-		for _, model := range sesa.AllModels() {
-			ch, _, err := sesa.RunBenchmark(p.Name, model, *n, *seed)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
+		for j, model := range models {
+			ch := results[i*len(models)+j].Char
 			if model == sesa.X86 {
 				base = ch.Cycles
 			}

@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	sesa-litmus [-test mp|n6|iriw|fig5|...] [-model all|x86|...] [-iters N]
+//	sesa-litmus [-test mp|n6|iriw|fig5|... or a comma list: mp,n6,iriw]
+//	            [-model all|x86|...] [-iters N]
 //	            [-pressure N] [-seed S]
 package main
 
@@ -14,12 +15,13 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"sesa"
 )
 
 func main() {
-	testName := flag.String("test", "", "litmus test name (default: all)")
+	testName := flag.String("test", "", "litmus test name or comma-separated list (default: all)")
 	modelName := flag.String("model", "all", "machine model (all, x86, 370-NoSpec, 370-SLFSpec, 370-SLFSoS, 370-SLFSoS-key)")
 	iters := flag.Int("iters", 20, "simulator iterations per test and model")
 	pressure := flag.Int("pressure", 3, "store-buffer pressure stores per forwarding thread (0 disables)")
@@ -28,12 +30,15 @@ func main() {
 
 	tests := sesa.LitmusTests()
 	if *testName != "" {
-		t, err := sesa.GetLitmus(*testName)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		tests = nil
+		for _, name := range strings.Split(*testName, ",") {
+			t, err := sesa.GetLitmus(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			tests = append(tests, t)
 		}
-		tests = []sesa.LitmusTest{t}
 	}
 
 	models := sesa.AllModels()

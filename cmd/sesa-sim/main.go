@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"sesa"
 )
@@ -22,6 +23,7 @@ func main() {
 	modelName := flag.String("model", "all", "machine model or 'all'")
 	n := flag.Int("n", 100_000, "instructions per core")
 	seed := flag.Uint64("seed", 42, "trace generation seed")
+	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel simulation workers (1 = serial)")
 	list := flag.Bool("list", false, "list benchmarks and exit")
 	dump := flag.String("dump", "", "write the generated workload to this trace file and exit")
 	traceIn := flag.String("trace", "", "run this trace file instead of a generated benchmark")
@@ -89,8 +91,25 @@ func main() {
 		}
 	}
 
+	// The generated-benchmark path fans the models across -jobs workers,
+	// replaying one cached trace; replaying an external trace file keeps the
+	// serial path (its programs bypass the profile-keyed cache).
+	var results []sesa.SweepResult
+	if replay == nil {
+		js := make([]sesa.SweepJob, len(models))
+		for i, model := range models {
+			j, err := sesa.BenchmarkJob(*bench, model, *n, *seed)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			js[i] = j
+		}
+		results, _ = sesa.RunSweep(js, *jobs)
+	}
+
 	var base uint64
-	for _, model := range models {
+	for mi, model := range models {
 		var ch sesa.Characterization
 		var st *sesa.Stats
 		var err error
@@ -105,7 +124,8 @@ func main() {
 				ch = st.Characterize()
 			}
 		} else {
-			ch, st, err = sesa.RunBenchmark(*bench, model, *n, *seed)
+			res := results[mi]
+			ch, st, err = res.Char, res.Stats, res.Err
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -129,3 +129,56 @@ func (t ComparisonTable) WriteJSON(w io.Writer) error {
 }
 
 func f(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
+
+// SweepSummary aggregates a parallel experiment sweep: how much simulated
+// work the run got through and how fast the host delivered it. It is the
+// wall-clock side of a sweep and is therefore NOT deterministic — emit it to
+// stderr or a perf log, never interleaved with table output that must be
+// byte-identical across worker counts.
+type SweepSummary struct {
+	Jobs    int `json:"jobs"`
+	Failed  int `json:"failed"`
+	Workers int `json:"workers"`
+	// WallSeconds is the end-to-end sweep duration.
+	WallSeconds float64 `json:"wall_seconds"`
+	// SimCycles and SimInsts total the simulated cycles and retired
+	// instructions across all jobs (failed jobs contribute what they ran).
+	SimCycles uint64 `json:"sim_cycles"`
+	SimInsts  uint64 `json:"sim_insts"`
+	// TraceCacheHits/Misses are the shared trace cache's cumulative
+	// process-wide counters at the end of the sweep.
+	TraceCacheHits   uint64 `json:"trace_cache_hits"`
+	TraceCacheMisses uint64 `json:"trace_cache_misses"`
+}
+
+// CyclesPerSecond is the sweep's aggregate simulation throughput.
+func (s SweepSummary) CyclesPerSecond() float64 {
+	if s.WallSeconds <= 0 {
+		return 0
+	}
+	return float64(s.SimCycles) / s.WallSeconds
+}
+
+// InstsPerSecond is the aggregate retired-instruction throughput.
+func (s SweepSummary) InstsPerSecond() float64 {
+	if s.WallSeconds <= 0 {
+		return 0
+	}
+	return float64(s.SimInsts) / s.WallSeconds
+}
+
+// String renders the one-line summary the CLIs print to stderr.
+func (s SweepSummary) String() string {
+	return fmt.Sprintf(
+		"sweep: %d jobs (%d failed) on %d workers in %.2fs — %d simulated cycles (%.3g cyc/s), %d instructions (%.3g inst/s), trace cache %d hits / %d misses",
+		s.Jobs, s.Failed, s.Workers, s.WallSeconds,
+		s.SimCycles, s.CyclesPerSecond(), s.SimInsts, s.InstsPerSecond(),
+		s.TraceCacheHits, s.TraceCacheMisses)
+}
+
+// WriteJSON emits the summary as a JSON document.
+func (s SweepSummary) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

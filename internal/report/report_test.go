@@ -117,3 +117,39 @@ func TestParseFormat(t *testing.T) {
 		t.Error("xml accepted")
 	}
 }
+
+func TestSweepSummary(t *testing.T) {
+	s := SweepSummary{
+		Jobs: 10, Failed: 1, Workers: 4,
+		WallSeconds: 2.0, SimCycles: 1_000_000, SimInsts: 500_000,
+		TraceCacheHits: 8, TraceCacheMisses: 2,
+	}
+	if got := s.CyclesPerSecond(); got != 500_000 {
+		t.Errorf("CyclesPerSecond = %g, want 500000", got)
+	}
+	if got := s.InstsPerSecond(); got != 250_000 {
+		t.Errorf("InstsPerSecond = %g, want 250000", got)
+	}
+	for _, want := range []string{"10 jobs", "1 failed", "4 workers", "8 hits", "2 misses"} {
+		if !strings.Contains(s.String(), want) {
+			t.Errorf("summary %q missing %q", s.String(), want)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back SweepSummary
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != s {
+		t.Errorf("JSON round trip changed the summary: %+v != %+v", back, s)
+	}
+
+	zero := SweepSummary{}
+	if zero.CyclesPerSecond() != 0 || zero.InstsPerSecond() != 0 {
+		t.Error("zero-wall summary must report zero throughput, not Inf")
+	}
+}

@@ -1,0 +1,187 @@
+// Package runner fans independent simulation jobs across a worker pool.
+//
+// Every sesa.Machine is fully self-contained — per-machine event queue,
+// seeded jitter, per-core predictors and statistics — and the workload traces
+// it replays are immutable, so a sweep of (model × workload × seed) jobs is
+// embarrassingly parallel. The runner exploits that: jobs are distributed
+// over a pool of goroutines and results are collected positionally, so the
+// result slice is in job order and bit-identical no matter how many workers
+// ran the sweep (Workers=1 reproduces the historical serial path exactly).
+//
+// A failed job (most commonly a machine exceeding its cycle bound) does not
+// abort the sweep: it becomes a Result with Err set, and its partial
+// statistics — including the cycle count at which it was cut off — remain
+// available for failure-row reporting.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"sesa/internal/config"
+	"sesa/internal/report"
+	"sesa/internal/sim"
+	"sesa/internal/stats"
+	"sesa/internal/trace"
+)
+
+// Job is one experiment: a workload profile run to completion on one machine
+// model.
+type Job struct {
+	// Profile is the workload to generate (or fetch from the trace cache).
+	Profile trace.Profile
+	// Model selects the consistency-model implementation.
+	Model config.Model
+	// InstPerCore scales the generated trace.
+	InstPerCore int
+	// Seed seeds the trace generator.
+	Seed uint64
+	// Config optionally overrides the machine configuration (its Model
+	// field is overwritten with Job.Model). Nil uses config.Default(Model).
+	Config *config.Config
+	// MaxCycles bounds the run; 0 applies the default bound of
+	// 200*InstPerCore + 2M cycles, the liveness bound the benchmark
+	// harnesses have always used.
+	MaxCycles uint64
+}
+
+// DefaultMaxCycles is the cycle bound applied when Job.MaxCycles is zero.
+func (j Job) DefaultMaxCycles() uint64 {
+	if j.MaxCycles != 0 {
+		return j.MaxCycles
+	}
+	return uint64(j.InstPerCore)*200 + 2_000_000
+}
+
+// Result is the outcome of one job, in the same position as its job.
+type Result struct {
+	Job   Job
+	Index int
+	// Stats is the machine statistics; non-nil even when Err is set (a
+	// timed-out machine reports the cycles it consumed before the cut).
+	Stats *stats.Machine
+	// Char is the Table IV characterization derived from Stats.
+	Char stats.Characterization
+	// Err records a per-job failure; the sweep continues past it.
+	Err error
+	// Wall is the job's wall-clock duration (excluded from any
+	// deterministic output — it varies run to run).
+	Wall time.Duration
+}
+
+// Pool runs sweeps.
+type Pool struct {
+	// Workers is the pool size; 0 or negative means runtime.GOMAXPROCS(0).
+	// 1 runs every job inline on the calling goroutine, reproducing the
+	// serial path.
+	Workers int
+	// Cache deduplicates trace generation across jobs. Nil means each job
+	// generates its own trace (the historical behaviour).
+	Cache *trace.Cache
+}
+
+// workers resolves the effective pool size.
+func (p Pool) workers() int {
+	if p.Workers > 0 {
+		return p.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run executes the jobs and returns results in job order plus the sweep
+// summary. Results are deterministic: result[i] depends only on jobs[i], so
+// any worker count produces identical statistics.
+func (p Pool) Run(jobs []Job) ([]Result, report.SweepSummary) {
+	start := time.Now()
+	results := make([]Result, len(jobs))
+	n := p.workers()
+	if n <= 1 || len(jobs) <= 1 {
+		for i := range jobs {
+			results[i] = p.runOne(i, jobs[i])
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < n; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					results[i] = p.runOne(i, jobs[i])
+				}
+			}()
+		}
+		for i := range jobs {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+	return results, p.summarize(results, n, time.Since(start))
+}
+
+// runOne executes a single job on the calling goroutine.
+func (p Pool) runOne(i int, j Job) Result {
+	res := Result{Job: j, Index: i}
+	jobStart := time.Now()
+	defer func() { res.Wall = time.Since(jobStart) }()
+
+	var cfg config.Config
+	if j.Config != nil {
+		cfg = *j.Config
+	} else {
+		cfg = config.Default(j.Model)
+	}
+	cfg.Model = j.Model
+
+	var w trace.Workload
+	if p.Cache != nil {
+		w = p.Cache.Workload(j.Profile, cfg.Cores, j.InstPerCore, j.Seed)
+	} else {
+		w = trace.Build(j.Profile, cfg.Cores, j.InstPerCore, j.Seed)
+	}
+
+	m, err := sim.New(cfg, w.Name)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	res.Stats = m.Stats
+	if len(w.Programs) > cfg.Cores {
+		res.Err = fmt.Errorf("runner: workload %s has %d programs but machine has %d cores",
+			w.Name, len(w.Programs), cfg.Cores)
+		return res
+	}
+	for c, prog := range w.Programs {
+		if err := m.SetProgram(c, prog); err != nil {
+			res.Err = err
+			return res
+		}
+	}
+	if err := m.Run(j.DefaultMaxCycles()); err != nil {
+		res.Err = err
+	}
+	res.Char = m.Stats.Characterize()
+	return res
+}
+
+// summarize aggregates the sweep-level quantities.
+func (p Pool) summarize(results []Result, workers int, wall time.Duration) report.SweepSummary {
+	s := report.SweepSummary{Jobs: len(results), Workers: workers, WallSeconds: wall.Seconds()}
+	for i := range results {
+		r := &results[i]
+		if r.Err != nil {
+			s.Failed++
+		}
+		if r.Stats != nil {
+			s.SimCycles += r.Stats.Cycles
+			s.SimInsts += r.Stats.Total().RetiredInsts
+		}
+	}
+	if p.Cache != nil {
+		s.TraceCacheHits, s.TraceCacheMisses = p.Cache.Stats()
+	}
+	return s
+}

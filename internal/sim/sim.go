@@ -101,6 +101,9 @@ func (m *Machine) Step() {
 func (m *Machine) Run(maxCycles uint64) error {
 	for !m.Done() {
 		if m.cycle >= maxCycles {
+			// Record how far the machine got: a timed-out run must still
+			// report its cycle count (failure rows would otherwise show 0).
+			m.Stats.Cycles = m.cycle
 			return fmt.Errorf("sim: machine did not finish within %d cycles (model %s, workload %s)",
 				maxCycles, m.cfg.Model, m.Stats.Workload)
 		}

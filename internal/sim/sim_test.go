@@ -197,3 +197,24 @@ func TestMachineDeterminism(t *testing.T) {
 		t.Errorf("non-deterministic: (%d,%d) vs (%d,%d)", c1, v1, c2, v2)
 	}
 }
+
+func TestTimeoutRecordsCycles(t *testing.T) {
+	m := newMachine(t, config.Small(1, config.X86), "timeout")
+	prog := make(isa.Program, 0, 200)
+	for i := 0; i < 200; i++ {
+		prog = append(prog, isa.ALUImm(1, 1, 1, 10))
+	}
+	if err := m.SetProgram(0, prog); err != nil {
+		t.Fatal(err)
+	}
+	err := m.Run(30) // far too few cycles for a 200-op dependency chain
+	if err == nil {
+		t.Fatal("expected a timeout error")
+	}
+	if m.Stats.Cycles == 0 {
+		t.Error("timed-out run reports 0 cycles; it must record the cut-off point")
+	}
+	if m.Stats.Cycles != m.Cycle() {
+		t.Errorf("Stats.Cycles = %d, want the machine cycle %d", m.Stats.Cycles, m.Cycle())
+	}
+}

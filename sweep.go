@@ -1,0 +1,42 @@
+package sesa
+
+import (
+	"fmt"
+
+	"sesa/internal/report"
+	"sesa/internal/runner"
+	"sesa/internal/trace"
+)
+
+// SweepJob is one experiment of a sweep: a workload profile run on one
+// machine model.
+type SweepJob = runner.Job
+
+// SweepResult is the outcome of one sweep job, positionally matched to it.
+type SweepResult = runner.Result
+
+// SweepSummary aggregates a sweep's wall-clock and simulated throughput.
+type SweepSummary = report.SweepSummary
+
+// BenchmarkJob builds the sweep job for a named Table IV benchmark, the
+// parallel analogue of RunBenchmark.
+func BenchmarkJob(name string, model Model, instPerCore int, seed uint64) (SweepJob, error) {
+	p, ok := LookupProfile(name)
+	if !ok {
+		return SweepJob{}, fmt.Errorf("sesa: unknown benchmark %q", name)
+	}
+	return SweepJob{Profile: p, Model: model, InstPerCore: instPerCore, Seed: seed}, nil
+}
+
+// RunSweep fans the jobs across `workers` goroutines (0 means GOMAXPROCS)
+// and returns results in job order plus the sweep summary. Traces are
+// generated once per (profile, cores, n, seed) in the process-wide cache and
+// replayed read-only by every model. Results are bit-identical for any
+// worker count: workers=1 reproduces the serial path.
+//
+// A failed job (e.g. a machine exceeding its cycle bound) does not abort the
+// sweep; it is returned with Err set and partial statistics.
+func RunSweep(jobs []SweepJob, workers int) ([]SweepResult, SweepSummary) {
+	pool := runner.Pool{Workers: workers, Cache: trace.Shared()}
+	return pool.Run(jobs)
+}

@@ -91,14 +91,16 @@ func ReadPrograms(r io.Reader) ([]Program, error) {
 
 // RunBenchmark generates the named Table IV benchmark and runs it under the
 // model on the paper's 8-core machine (sequential benchmarks use core 0),
-// returning the Table IV characterization row and the raw statistics.
+// returning the Table IV characterization row and the raw statistics. The
+// trace comes from the process-wide cache, so running the same benchmark
+// under several models generates it only once.
 func RunBenchmark(name string, model Model, instPerCore int, seed uint64) (Characterization, *Stats, error) {
 	p, ok := LookupProfile(name)
 	if !ok {
 		return Characterization{}, nil, fmt.Errorf("sesa: unknown benchmark %q", name)
 	}
 	cfg := DefaultConfig(model)
-	w := BuildWorkload(p, cfg.Cores, instPerCore, seed)
+	w := trace.CachedWorkload(p, cfg.Cores, instPerCore, seed)
 	st, err := RunWorkload(model, cfg, w, uint64(instPerCore)*200+2_000_000)
 	if err != nil {
 		return Characterization{}, nil, err
