@@ -20,6 +20,7 @@ import (
 
 	"sesa"
 	"sesa/internal/report"
+	"sesa/internal/stats"
 )
 
 var (
@@ -191,20 +192,17 @@ func tableIV(s sesa.Suite) {
 		return
 	}
 	fmt.Println(table.Title)
-	fmt.Printf("%-18s %12s %8s %8s %10s %12s %8s\n",
-		"benchmark", "instructions", "loads%", "fwd%", "gate-stall%", "avg-stall-cyc", "reexec%")
+	fmt.Println(stats.TableIVHeader)
 	var loads, fwd, gate, stallCyc, reexec []float64
 	for _, ch := range table.Rows {
-		fmt.Printf("%-18s %12d %8.3f %8.3f %10.3f %12.3f %8.3f\n",
-			ch.Benchmark, ch.Instructions, ch.LoadsPct, ch.ForwardedPct,
-			ch.GateStallsPct, ch.AvgStallCycles, ch.ReexecutedPct)
+		fmt.Println(ch.FormatRow())
 		loads = append(loads, ch.LoadsPct)
 		fwd = append(fwd, ch.ForwardedPct)
 		gate = append(gate, ch.GateStallsPct)
 		stallCyc = append(stallCyc, ch.AvgStallCycles)
 		reexec = append(reexec, ch.ReexecutedPct)
 	}
-	fmt.Printf("%-18s %12s %8.3f %8.3f %10.3f %12.3f %8.3f\n",
+	fmt.Printf("%-25s %12s  %6.3f  %6.3f  %9.3f  %11.3f  %7.3f\n",
 		"Average", "", sesa.Mean(loads), sesa.Mean(fwd), sesa.Mean(gate),
 		sesa.Mean(stallCyc), sesa.Mean(reexec))
 }

@@ -8,47 +8,64 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"sesa"
 )
 
+// modelPair cross-validates one operational model against its axiomatic
+// formulation. The pairs are a fixed slice, not a map: output order must be
+// deterministic so runs are diffable and the golden test is byte-stable.
+type modelPair struct {
+	op sesa.CheckerModel
+	ax sesa.AxiomaticModel
+}
+
+var modelPairs = []modelPair{
+	{sesa.CheckerSC, sesa.AxSC},
+	{sesa.Checker370TSO, sesa.Ax370TSO},
+	{sesa.CheckerX86TSO, sesa.AxX86TSO},
+}
+
 func main() {
 	testName := flag.String("test", "", "litmus test name (default: all)")
 	flag.Parse()
 
+	if err := run(os.Stdout, *testName); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// run checks the selected tests and writes the report to w.
+func run(w io.Writer, testName string) error {
 	tests := sesa.LitmusTests()
-	if *testName != "" {
-		t, err := sesa.GetLitmus(*testName)
+	if testName != "" {
+		t, err := sesa.GetLitmus(testName)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 		tests = []sesa.LitmusTest{t}
 	}
 
 	for _, t := range tests {
-		fmt.Printf("=== %s — %s\n", t.Name, t.Doc)
+		fmt.Fprintf(w, "=== %s — %s\n", t.Name, t.Doc)
 		for _, m := range []sesa.CheckerModel{sesa.CheckerSC, sesa.Checker370TSO, sesa.CheckerX86TSO} {
 			out := sesa.Enumerate(t.Prog, m)
-			fmt.Printf("  %-8s %2d outcomes:", m, len(out))
+			fmt.Fprintf(w, "  %-8s %2d outcomes:", m, len(out))
 			for _, o := range out.Sorted() {
-				fmt.Printf("  [%s]", o)
+				fmt.Fprintf(w, "  [%s]", o)
 			}
-			fmt.Println()
+			fmt.Fprintln(w)
 		}
 		// Cross-validate the two formulations.
-		for op, ax := range map[sesa.CheckerModel]sesa.AxiomaticModel{
-			sesa.CheckerSC:     sesa.AxSC,
-			sesa.Checker370TSO: sesa.Ax370TSO,
-			sesa.CheckerX86TSO: sesa.AxX86TSO,
-		} {
-			axOut, err := sesa.EnumerateAxiomatic(t.Prog, ax)
+		for _, p := range modelPairs {
+			axOut, err := sesa.EnumerateAxiomatic(t.Prog, p.ax)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				return err
 			}
-			opOut := sesa.Enumerate(t.Prog, op)
+			opOut := sesa.Enumerate(t.Prog, p.op)
 			match := len(axOut) == len(opOut)
 			for o := range opOut {
 				if !axOut.Contains(o) {
@@ -56,20 +73,20 @@ func main() {
 				}
 			}
 			if !match {
-				fmt.Printf("  MISMATCH between operational %s and axiomatic %s!\n", op, ax)
-				os.Exit(1)
+				return fmt.Errorf("MISMATCH between operational %s and axiomatic %s on %s", p.op, p.ax, t.Name)
 			}
 		}
-		fmt.Println("  axiomatic formulation agrees (uniproc + atomicity + ghb)")
+		fmt.Fprintln(w, "  axiomatic formulation agrees (uniproc + atomicity + ghb)")
 		diff := sesa.CompareModels(t.Prog, sesa.CheckerX86TSO, sesa.Checker370TSO)
 		if len(diff) == 0 {
-			fmt.Println("  store atomicity is not observable in this test")
+			fmt.Fprintln(w, "  store atomicity is not observable in this test")
 		} else {
-			fmt.Printf("  x86-only (store-atomicity violations observable):")
+			fmt.Fprintf(w, "  x86-only (store-atomicity violations observable):")
 			for _, o := range diff {
-				fmt.Printf("  [%s]", o)
+				fmt.Fprintf(w, "  [%s]", o)
 			}
-			fmt.Println()
+			fmt.Fprintln(w)
 		}
 	}
+	return nil
 }

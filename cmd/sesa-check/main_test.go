@@ -1,0 +1,49 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunDeterministic guards the fix for the nondeterministic
+// map-iteration output order: two runs must be byte-identical.
+func TestRunDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run(&a, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&b, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two runs produced different output")
+	}
+}
+
+// TestRunGolden compares the full-suite report against the checked-in
+// golden. Regenerate with:
+//
+//	go run ./cmd/sesa-check > cmd/sesa-check/testdata/check_all.golden
+func TestRunGolden(t *testing.T) {
+	var got bytes.Buffer
+	if err := run(&got, ""); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "check_all.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Errorf("output differs from testdata/check_all.golden;\ngot:\n%s", got.String())
+	}
+}
+
+// TestRunUnknownTest checks the error path.
+func TestRunUnknownTest(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "no-such-test"); err == nil {
+		t.Fatal("expected an error for an unknown test")
+	}
+}

@@ -8,6 +8,8 @@
 //	sesa-litmus [-test mp|n6|iriw|fig5|... or a comma list: mp,n6,iriw]
 //	            [-model all|x86|...] [-iters N]
 //	            [-pressure N] [-seed S]
+//	            [-trace-out trace.json] [-trace-format chrome|kanata]
+//	            [-metrics-interval N -metrics-out metrics.csv]
 package main
 
 import (
@@ -26,7 +28,30 @@ func main() {
 	iters := flag.Int("iters", 20, "simulator iterations per test and model")
 	pressure := flag.Int("pressure", 3, "store-buffer pressure stores per forwarding thread (0 disables)")
 	seed := flag.Uint64("seed", 1, "base seed for timing exploration")
+	traceOut := flag.String("trace-out", "", "write a cycle-level pipeline trace of every iteration to this file")
+	traceFormat := flag.String("trace-format", "chrome", "pipeline trace format: "+sesa.ValidTraceFormats)
+	traceBuf := flag.Int("trace-buf", sesa.DefaultTraceBufCap, "per-core trace ring capacity in events")
+	metricsInterval := flag.Uint64("metrics-interval", 0, "sample interval metrics every N cycles (0 disables)")
+	metricsOut := flag.String("metrics-out", "", "write interval metrics to this file (.json for JSON, else CSV)")
 	flag.Parse()
+
+	if *traceOut != "" && *traceFormat != "chrome" && *traceFormat != "kanata" {
+		fmt.Fprintf(os.Stderr, "unknown -trace-format %q (want %s)\n", *traceFormat, sesa.ValidTraceFormats)
+		os.Exit(1)
+	}
+	if (*metricsInterval > 0) != (*metricsOut != "") {
+		fmt.Fprintln(os.Stderr, "-metrics-interval and -metrics-out must be used together")
+		os.Exit(1)
+	}
+	var traceOpts *sesa.TraceOptions
+	if *traceOut != "" || *metricsInterval > 0 {
+		o := sesa.TraceOptions{MetricsInterval: *metricsInterval}
+		if *traceOut != "" {
+			o.BufCap = *traceBuf
+		}
+		traceOpts = &o
+	}
+	var runs []sesa.TraceRun
 
 	tests := sesa.LitmusTests()
 	if *testName != "" {
@@ -67,7 +92,22 @@ func main() {
 			variant = sesa.WithSBPressure(test, *pressure)
 		}
 		for _, model := range models {
-			res, err := sesa.RunLitmus(variant, model, *iters, *seed)
+			var res *sesa.LitmusResult
+			var err error
+			if traceOpts != nil {
+				// Each iteration's machine records into its own tracer;
+				// runs are collected in iteration order.
+				prefix := variant.Name + "/" + model.String()
+				res, err = sesa.RunLitmusTraced(variant, model, *iters, *seed,
+					func(iter int, m *sesa.SimMachine) {
+						tr := sesa.NewTracer(m.Config().Cores, *traceOpts)
+						m.AttachTracer(tr)
+						runs = append(runs, sesa.TraceRun{
+							Name: fmt.Sprintf("%s#%d", prefix, iter), Tracer: tr})
+					})
+			} else {
+				res, err = sesa.RunLitmus(variant, model, *iters, *seed)
+			}
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
@@ -92,6 +132,21 @@ func main() {
 			}
 			fmt.Println()
 		}
+	}
+
+	if *traceOut != "" {
+		if err := sesa.WriteTraceFile(*traceOut, *traceFormat, runs); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s trace (%d runs) to %s\n", *traceFormat, len(runs), *traceOut)
+	}
+	if *metricsOut != "" {
+		if err := sesa.WriteMetricsFile(*metricsOut, runs); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote interval metrics to %s\n", *metricsOut)
 	}
 	os.Exit(exit)
 }

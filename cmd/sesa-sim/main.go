@@ -6,6 +6,8 @@
 // Usage:
 //
 //	sesa-sim -bench barnes [-model all] [-n 100000] [-seed 42]
+//	sesa-sim -bench ocean_cp -trace-out trace.json -trace-format chrome
+//	sesa-sim -bench barnes -metrics-interval 1000 -metrics-out metrics.csv
 //	sesa-sim -list
 package main
 
@@ -27,7 +29,29 @@ func main() {
 	list := flag.Bool("list", false, "list benchmarks and exit")
 	dump := flag.String("dump", "", "write the generated workload to this trace file and exit")
 	traceIn := flag.String("trace", "", "run this trace file instead of a generated benchmark")
+	traceOut := flag.String("trace-out", "", "write a cycle-level pipeline trace to this file")
+	traceFormat := flag.String("trace-format", "chrome", "pipeline trace format: "+sesa.ValidTraceFormats)
+	traceBuf := flag.Int("trace-buf", sesa.DefaultTraceBufCap, "per-core trace ring capacity in events")
+	metricsInterval := flag.Uint64("metrics-interval", 0, "sample interval metrics every N cycles (0 disables)")
+	metricsOut := flag.String("metrics-out", "", "write interval metrics to this file (.json for JSON, else CSV)")
 	flag.Parse()
+
+	if *traceOut != "" && *traceFormat != "chrome" && *traceFormat != "kanata" {
+		fmt.Fprintf(os.Stderr, "unknown -trace-format %q (want %s)\n", *traceFormat, sesa.ValidTraceFormats)
+		os.Exit(1)
+	}
+	if (*metricsInterval > 0) != (*metricsOut != "") {
+		fmt.Fprintln(os.Stderr, "-metrics-interval and -metrics-out must be used together")
+		os.Exit(1)
+	}
+	var traceOpts *sesa.TraceOptions
+	if *traceOut != "" || *metricsInterval > 0 {
+		o := sesa.TraceOptions{MetricsInterval: *metricsInterval}
+		if *traceOut != "" {
+			o.BufCap = *traceBuf
+		}
+		traceOpts = &o
+	}
 
 	if *list {
 		fmt.Println("parallel (SPLASH-3 + PARSEC, 8 cores):")
@@ -103,15 +127,18 @@ func main() {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
+			j.Trace = traceOpts
 			js[i] = j
 		}
 		results, _ = sesa.RunSweep(js, *jobs)
 	}
 
 	var base uint64
+	var runs []sesa.TraceRun
 	for mi, model := range models {
 		var ch sesa.Characterization
 		var st *sesa.Stats
+		var tr *sesa.Tracer
 		var err error
 		if replay != nil {
 			cfg := sesa.DefaultConfig(model)
@@ -119,13 +146,17 @@ func main() {
 				cfg.Cores = len(replay)
 			}
 			w := sesa.Workload{Name: *traceIn, Programs: replay}
-			st, err = sesa.RunWorkload(model, cfg, w, 1_000_000_000)
+			st, tr, err = runReplay(model, cfg, w, traceOpts)
 			if err == nil {
 				ch = st.Characterize()
 			}
 		} else {
 			res := results[mi]
 			ch, st, err = res.Char, res.Stats, res.Err
+			tr = res.Trace
+		}
+		if tr != nil {
+			runs = append(runs, sesa.TraceRun{Name: *bench + "/" + model.String(), Tracer: tr})
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -145,4 +176,43 @@ func main() {
 		fmt.Printf("   squashes %d (SA %d, dependence %d)   branch mispredicts %d\n",
 			t.Squashes, t.SASquashes, t.DepSquashes, t.BranchMispredicts)
 	}
+
+	if *traceOut != "" {
+		if err := sesa.WriteTraceFile(*traceOut, *traceFormat, runs); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s trace (%d runs) to %s\n", *traceFormat, len(runs), *traceOut)
+	}
+	if *metricsOut != "" {
+		if err := sesa.WriteMetricsFile(*metricsOut, runs); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote interval metrics to %s\n", *metricsOut)
+	}
+}
+
+// runReplay runs a trace-file workload on one machine, optionally attaching
+// an observability tracer (the sweep path does this via SweepJob.Trace).
+func runReplay(model sesa.Model, cfg sesa.Config, w sesa.Workload, opts *sesa.TraceOptions) (*sesa.Stats, *sesa.Tracer, error) {
+	cfg.Model = model
+	sys, err := sesa.NewSystem(cfg, w.Name)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, p := range w.Programs {
+		if err := sys.LoadProgram(i, p); err != nil {
+			return nil, nil, err
+		}
+	}
+	var tr *sesa.Tracer
+	if opts != nil {
+		tr = sesa.NewTracer(cfg.Cores, *opts)
+		sys.AttachTracer(tr)
+	}
+	if err := sys.Run(1_000_000_000); err != nil {
+		return nil, nil, err
+	}
+	return sys.Stats(), tr, nil
 }

@@ -7,6 +7,7 @@ import (
 	"sesa/internal/isa"
 	"sesa/internal/mem"
 	"sesa/internal/noc"
+	"sesa/internal/obs"
 	"sesa/internal/predictor"
 	"sesa/internal/stats"
 )
@@ -58,6 +59,10 @@ type Core struct {
 
 	loadVals map[int]uint64
 
+	// tr is the observability sink; nil when tracing is disabled, so every
+	// hook is one never-taken branch on the disabled path.
+	tr *obs.CoreTracer
+
 	done bool
 }
 
@@ -105,12 +110,26 @@ func (c *Core) LoadValue(idx int) (uint64, bool) {
 // Gate exposes the retire gate for tests and introspection.
 func (c *Core) Gate() *Gate { return &c.gate }
 
+// AttachTracer sets the core's observability sink (nil disables it). Call
+// before the first Tick; events recorded mid-run would miss prior history.
+func (c *Core) AttachTracer(t *obs.CoreTracer) { c.tr = t }
+
+// Occupancy returns the instantaneous ROB, LQ and SQ/SB occupancies, for
+// the interval-metrics sampler and for tests.
+func (c *Core) Occupancy() (rob, lq, sb int) { return len(c.rob), len(c.lq), c.sq.count }
+
+// obsKey encodes a store key for an event payload.
+func obsKey(k key) int32 { return obs.EncodeKey(k.slot, k.sort) }
+
 // Tick advances the core one cycle.
 func (c *Core) Tick(now uint64) {
 	if c.done {
 		return
 	}
 	c.st.Cycles++
+	if c.gate.Closed() {
+		c.st.GateClosedCycles++
+	}
 	c.retire(now)
 	c.drainSB(now)
 	c.issue(now)
@@ -134,7 +153,7 @@ func (c *Core) retire(now uint64) {
 		if e.isLoad() && c.loadRetireBlocked(e, now) {
 			return
 		}
-		c.doRetire(e)
+		c.doRetire(e, now)
 	}
 }
 
@@ -166,10 +185,14 @@ func (c *Core) loadRetireBlocked(e *entry, now uint64) bool {
 	return false
 }
 
-func (c *Core) doRetire(e *entry) {
+func (c *Core) doRetire(e *entry, now uint64) {
 	e.status = stRetired
 	c.rob = c.rob[1:]
 	c.st.RetiredInsts++
+	if c.tr != nil {
+		c.tr.Record(obs.Event{Cycle: now, Kind: obs.KRetire, Op: e.inst.Op,
+			Seq: e.dynSeq, TraceIdx: int32(e.traceIdx), Key: obs.KeyNone, Addr: e.inst.Addr})
+	}
 
 	switch {
 	case e.isLoad():
@@ -188,12 +211,18 @@ func (c *Core) doRetire(e *entry) {
 		// slot+sorting-bit compare.
 		if (c.model == config.SLFSoS370 || c.model == config.SLFSoSKey370) &&
 			e.slf && c.sq.present(e.slfKey) && !e.slfStore.writtenL1 {
+			gk := obs.KeyNone
 			if c.model == config.SLFSoSKey370 {
 				c.gate.CloseKeyed(e.slfKey)
+				gk = obsKey(e.slfKey)
 			} else {
 				c.gate.CloseUnkeyed()
 			}
 			c.st.GateCloses++
+			if c.tr != nil {
+				c.tr.Record(obs.Event{Cycle: now, Kind: obs.KGateClose, Op: e.inst.Op,
+					Seq: e.dynSeq, TraceIdx: int32(e.traceIdx), Key: gk, Addr: e.inst.Addr})
+			}
 		}
 	case e.isStore():
 		c.st.RetiredStores++
@@ -262,13 +291,25 @@ func (c *Core) storeWrote(e *entry, when uint64) {
 	e.writtenL1 = true
 	c.drainInflight--
 	c.sq.free(e)
+	if c.tr != nil {
+		c.tr.Record(obs.Event{Cycle: when, Kind: obs.KSBInsert, Op: e.inst.Op,
+			Seq: e.dynSeq, TraceIdx: int32(e.traceIdx), Key: obsKey(e.sqKey), Addr: e.inst.Addr})
+	}
 	if c.gate.StoreWrote(e.sqKey) {
 		c.st.GateReopens++
+		if c.tr != nil {
+			c.tr.Record(obs.Event{Cycle: when, Kind: obs.KGateReopen, Op: e.inst.Op,
+				Seq: e.dynSeq, TraceIdx: int32(e.traceIdx), Key: obsKey(e.sqKey), Addr: e.inst.Addr})
+		}
 	}
 	// The keyless SLFSoS variant reopens only when the SB drains.
 	if c.model == config.SLFSoS370 && !c.sq.anyRetiredUnwritten() {
 		if c.gate.SBDrained() {
 			c.st.GateReopens++
+			if c.tr != nil {
+				c.tr.Record(obs.Event{Cycle: when, Kind: obs.KGateReopen, Op: e.inst.Op,
+					Seq: e.dynSeq, TraceIdx: int32(e.traceIdx), Key: obs.KeyNone, Addr: e.inst.Addr})
+			}
 		}
 	}
 }
@@ -292,6 +333,15 @@ func (c *Core) issue(now uint64) {
 			}
 			if c.tryIssue(e, now) {
 				budget--
+				if c.tr != nil {
+					c.tr.Record(obs.Event{Cycle: now, Kind: obs.KIssue, Op: e.inst.Op,
+						Seq: e.dynSeq, TraceIdx: int32(e.traceIdx), Key: obs.KeyNone, Addr: e.inst.Addr})
+					if e.status >= stDone {
+						// Stores, fences and nops complete in place.
+						c.tr.Record(obs.Event{Cycle: now, Kind: obs.KPerform, Op: e.inst.Op,
+							Seq: e.dynSeq, TraceIdx: int32(e.traceIdx), Key: obs.KeyNone, Addr: e.inst.Addr})
+					}
+				}
 			}
 		}
 	}
@@ -318,6 +368,10 @@ func (c *Core) complete(e *entry, now uint64) {
 	}
 	e.status = stDone
 	e.execDone = now
+	if c.tr != nil {
+		c.tr.Record(obs.Event{Cycle: now, Kind: obs.KPerform, Op: e.inst.Op,
+			Seq: e.dynSeq, TraceIdx: int32(e.traceIdx), Key: obs.KeyNone, Addr: e.inst.Addr, N: e.val})
+	}
 }
 
 // srcVal returns the current value of source operand n (1 or 2).
@@ -417,7 +471,7 @@ func (c *Core) checkDependenceViolation(s *entry, now uint64) {
 		}
 		c.ss.TrainViolation(l.inst.PC, s.inst.PC)
 		c.st.DepSquashes++
-		c.squashFrom(l, now, false, false)
+		c.squashFrom(l, now, false, false, obs.CauseStoreSet, s.inst.Addr)
 		return
 	}
 }
@@ -442,6 +496,10 @@ func (c *Core) tryIssueRMW(e *entry, now uint64) bool {
 		rmw.inflight = false
 		rmw.status = stDone
 		rmw.execDone = when
+		if c.tr != nil {
+			c.tr.Record(obs.Event{Cycle: when, Kind: obs.KPerform, Op: rmw.inst.Op,
+				Seq: rmw.dynSeq, TraceIdx: int32(rmw.traceIdx), Key: obs.KeyNone, Addr: rmw.inst.Addr, N: old})
+		}
 	})
 	return true
 }
@@ -520,6 +578,10 @@ func (c *Core) tryIssueLoad(e *entry, now uint64) bool {
 		e.slfKey = match.sqKey
 		e.status = stIssued
 		e.execDone = now + uint64(c.l1Lat)
+		if c.tr != nil {
+			c.tr.Record(obs.Event{Cycle: now, Kind: obs.KSLFHit, Op: e.inst.Op,
+				Seq: e.dynSeq, TraceIdx: int32(e.traceIdx), Key: obsKey(e.slfKey), Addr: e.inst.Addr})
+		}
 		return true
 	}
 	c.issueToMemory(e, now)
@@ -538,6 +600,10 @@ func (c *Core) issueToMemory(e *entry, now uint64) {
 		ld.inflight = false
 		ld.status = stDone
 		ld.execDone = when
+		if c.tr != nil {
+			c.tr.Record(obs.Event{Cycle: when, Kind: obs.KPerform, Op: ld.inst.Op,
+				Seq: ld.dynSeq, TraceIdx: int32(ld.traceIdx), Key: obs.KeyNone, Addr: ld.inst.Addr, N: val})
+		}
 	})
 }
 
@@ -607,6 +673,11 @@ func (c *Core) dispatchOne(in isa.Inst, now uint64) {
 	}
 	if in.Dst != isa.RegNone {
 		c.regProd[in.Dst] = e
+	}
+
+	if c.tr != nil {
+		c.tr.Record(obs.Event{Cycle: now, Kind: obs.KDispatch, Op: in.Op,
+			Seq: e.dynSeq, TraceIdx: int32(e.traceIdx), Key: obs.KeyNone, Addr: in.Addr})
 	}
 
 	c.rob = append(c.rob, e)

@@ -3,6 +3,7 @@ package core
 import (
 	"sesa/internal/config"
 	"sesa/internal/isa"
+	"sesa/internal/obs"
 )
 
 // DebugSquash, when non-nil, is called on every invalidation/eviction
@@ -43,7 +44,11 @@ func (c *Core) onLineRemoved(lineAddr uint64, when uint64, eviction bool) {
 		if DebugSquash != nil {
 			DebugSquash(lineAddr, eviction)
 		}
-		c.squashFrom(e, when, true, sa)
+		cause := obs.CauseMSpec
+		if sa {
+			cause = obs.CauseSA
+		}
+		c.squashFrom(e, when, true, sa, cause, lineAddr)
 		return
 	}
 }
@@ -104,7 +109,7 @@ func (c *Core) loadSpeculative(i int, e *entry) (mspec, sa bool) {
 // flushed instructions to the Table IV "re-executed" metric (store-atomicity
 // or load-load misspeculation); memory-dependence squashes are counted
 // separately.
-func (c *Core) squashFrom(from *entry, now uint64, countReexec, saOnly bool) {
+func (c *Core) squashFrom(from *entry, now uint64, countReexec, saOnly bool, cause obs.Cause, addr uint64) {
 	pos := -1
 	for i, e := range c.rob {
 		if e == from {
@@ -116,9 +121,18 @@ func (c *Core) squashFrom(from *entry, now uint64, countReexec, saOnly bool) {
 		panic("core: squash target not in ROB")
 	}
 	flushed := c.rob[pos:]
+	if c.tr != nil {
+		c.tr.Record(obs.Event{Cycle: now, Kind: obs.KSquash, Cause: cause, Op: from.inst.Op,
+			Seq: from.dynSeq, TraceIdx: int32(from.traceIdx), Key: obs.KeyNone, Addr: addr,
+			N: uint64(len(flushed))})
+	}
 	for i := len(flushed) - 1; i >= 0; i-- {
 		e := flushed[i]
 		e.alive = false
+		if c.tr != nil {
+			c.tr.Record(obs.Event{Cycle: now, Kind: obs.KFlush, Cause: cause, Op: e.inst.Op,
+				Seq: e.dynSeq, TraceIdx: int32(e.traceIdx), Key: obs.KeyNone, Addr: e.inst.Addr})
+		}
 		if e.isStore() {
 			if e.status == stRetired {
 				panic("core: squashing a retired store")

@@ -457,6 +457,14 @@ func (r *Result) Observed(o checker.Outcome) bool { return r.Outcomes[o] > 0 }
 // varied jitter seeds and start staggering, collecting the outcome
 // histogram. This is the analogue of running litmus7 on real hardware.
 func Run(t Test, model config.Model, iters int, seedBase uint64) (*Result, error) {
+	return RunTraced(t, model, iters, seedBase, nil)
+}
+
+// RunTraced is Run with an observability hook: when attach is non-nil it is
+// called on every iteration's machine before it runs (e.g. to attach a
+// tracer). The hook must not keep the machine running concurrently —
+// iterations stay sequential and deterministic.
+func RunTraced(t Test, model config.Model, iters int, seedBase uint64, attach func(iter int, m *sim.Machine)) (*Result, error) {
 	res := &Result{Test: t.Name, Model: model, Iters: iters, Outcomes: make(map[checker.Outcome]int)}
 	rng := seedBase*2654435761 + 1
 	for it := 0; it < iters; it++ {
@@ -467,6 +475,9 @@ func Run(t Test, model config.Model, iters int, seedBase uint64) (*Result, error
 		m, err := sim.New(cfg, t.Name)
 		if err != nil {
 			return nil, err
+		}
+		if attach != nil {
+			attach(it, m)
 		}
 		for a, v := range t.Prog.Init {
 			m.InitMemory(a, v)

@@ -3,6 +3,7 @@ package mem
 import (
 	"sesa/internal/config"
 	"sesa/internal/noc"
+	"sesa/internal/obs"
 )
 
 // Stats accumulates memory-hierarchy counters.
@@ -54,6 +55,10 @@ type Hierarchy struct {
 
 	listeners []InvalListener
 
+	// tracers holds the per-core observability sinks; entries are nil when
+	// tracing is disabled.
+	tracers []*obs.CoreTracer
+
 	// busyUntil serializes coherence transactions per line, like a
 	// blocking directory entry. now tracks the latest request time seen,
 	// so lineBusy can distinguish live transactions from finished ones.
@@ -83,6 +88,7 @@ func NewHierarchy(cores int, cfg config.Memory, net *noc.Network, evq *noc.Event
 		dir:       NewDirectory(cores, cfg.L2, cfg.DirectoryWays, cfg.DirectoryCoverage, cfg.L2.LineBytes),
 		image:     make(map[uint64]uint64),
 		listeners: make([]InvalListener, cores),
+		tracers:   make([]*obs.CoreTracer, cores),
 		busyUntil: make(map[uint64]uint64),
 		pref:      make([]strideState, cores),
 	}
@@ -97,6 +103,22 @@ func NewHierarchy(cores int, cfg config.Memory, net *noc.Network, evq *noc.Event
 
 // SetInvalListener registers the core's LQ-snoop callback.
 func (h *Hierarchy) SetInvalListener(core int, fn InvalListener) { h.listeners[core] = fn }
+
+// AttachTracer sets the observability sink for one core's snoop events
+// (nil disables it).
+func (h *Hierarchy) AttachTracer(core int, t *obs.CoreTracer) { h.tracers[core] = t }
+
+// recordSnoop logs the delivery of an invalidation or eviction to a core.
+func (h *Hierarchy) recordSnoop(core int, lineAddr, when uint64, eviction bool) {
+	if tr := h.tracers[core]; tr != nil {
+		cause := obs.CauseInval
+		if eviction {
+			cause = obs.CauseEvict
+		}
+		tr.Record(obs.Event{Cycle: when, Kind: obs.KSnoop, Cause: cause,
+			Key: obs.KeyNone, Addr: lineAddr})
+	}
+}
 
 // LineAddr returns the line-aligned address containing addr.
 func (h *Hierarchy) LineAddr(addr uint64) uint64 { return h.l1[0].LineAddr(addr) }
@@ -173,6 +195,7 @@ func (h *Hierarchy) invalidateCore(core int, lineAddr, when uint64, eviction boo
 	h.evq.Schedule(when, func() {
 		h.l1[core].SetState(lineAddr, Invalid)
 		h.l2[core].SetState(lineAddr, Invalid)
+		h.recordSnoop(core, lineAddr, when, eviction)
 		if l := h.listeners[core]; l != nil {
 			l(lineAddr, when, eviction)
 		}
@@ -184,6 +207,7 @@ func (h *Hierarchy) invalidateCore(core int, lineAddr, when uint64, eviction boo
 func (h *Hierarchy) notifyEviction(core int, lineAddr, when uint64) {
 	h.Stats.L1Evictions++
 	h.evq.Schedule(when, func() {
+		h.recordSnoop(core, lineAddr, when, true)
 		if l := h.listeners[core]; l != nil {
 			l(lineAddr, when, true)
 		}

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// kanata stage names for the default lane: dispatch wait, execute, complete
+// wait (performed, waiting to retire).
+const (
+	stageDispatch = "Dp"
+	stageIssue    = "Is"
+	stageCommit   = "Cm"
+)
+
+// WriteKanata renders the runs as a Kanata 0004 pipeline-viewer log (the
+// Onikiri2/Konata format). Every instruction appears as one row with Dp
+// (dispatched, waiting to issue), Is (executing) and Cm (performed, waiting
+// to retire) stages; retirement emits an R record and squashes emit a flush
+// R record. Thread ids enumerate (run, core) pairs in order.
+//
+// Like WriteChrome, the output depends only on the recorded events, so it
+// is byte-identical across sweep worker counts.
+func WriteKanata(w io.Writer, runs []Run) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "Kanata\t0004\n")
+
+	// Merge every (run, core) stream into one cycle-ordered record. The
+	// per-core streams are already cycle-ordered, so a stable sort by
+	// cycle keeps the (run, core) interleave deterministic.
+	type tagged struct {
+		tid int
+		ev  Event
+	}
+	var all []tagged
+	tid := 0
+	for _, run := range runs {
+		for c := 0; c < run.Tracer.Cores(); c++ {
+			for _, ev := range run.Tracer.Core(c).Events() {
+				all = append(all, tagged{tid: tid, ev: ev})
+			}
+			tid++
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].ev.Cycle < all[j].ev.Cycle })
+
+	// ids maps (tid, seq) to the Kanata instruction id; stage tracks each
+	// id's currently open stage.
+	type instKey struct {
+		tid int
+		seq uint64
+	}
+	ids := make(map[instKey]int)
+	stage := make(map[int]string)
+	nextID, retireID := 0, 0
+
+	var cycle uint64
+	started := false
+	for _, t := range all {
+		ev := t.ev
+		if !started {
+			fmt.Fprintf(bw, "C=\t%d\n", ev.Cycle)
+			cycle = ev.Cycle
+			started = true
+		} else if ev.Cycle > cycle {
+			fmt.Fprintf(bw, "C\t%d\n", ev.Cycle-cycle)
+			cycle = ev.Cycle
+		}
+		key := instKey{t.tid, ev.Seq}
+		switch ev.Kind {
+		case KDispatch:
+			id := nextID
+			nextID++
+			ids[key] = id
+			fmt.Fprintf(bw, "I\t%d\t%d\t%d\n", id, ev.TraceIdx, t.tid)
+			label := ev.Op.String()
+			if ev.Op.IsMem() {
+				label = fmt.Sprintf("%s [%#x]", ev.Op, ev.Addr)
+			}
+			fmt.Fprintf(bw, "L\t%d\t0\t%s\n", id, label)
+			fmt.Fprintf(bw, "S\t%d\t0\t%s\n", id, stageDispatch)
+			stage[id] = stageDispatch
+		case KIssue:
+			if id, ok := ids[key]; ok {
+				fmt.Fprintf(bw, "E\t%d\t0\t%s\n", id, stage[id])
+				fmt.Fprintf(bw, "S\t%d\t0\t%s\n", id, stageIssue)
+				stage[id] = stageIssue
+			}
+		case KPerform:
+			if id, ok := ids[key]; ok {
+				fmt.Fprintf(bw, "E\t%d\t0\t%s\n", id, stage[id])
+				fmt.Fprintf(bw, "S\t%d\t0\t%s\n", id, stageCommit)
+				stage[id] = stageCommit
+			}
+		case KRetire:
+			if id, ok := ids[key]; ok {
+				fmt.Fprintf(bw, "E\t%d\t0\t%s\n", id, stage[id])
+				fmt.Fprintf(bw, "R\t%d\t%d\t0\n", id, retireID)
+				retireID++
+				delete(ids, key)
+				delete(stage, id)
+			}
+		case KFlush:
+			if id, ok := ids[key]; ok {
+				fmt.Fprintf(bw, "E\t%d\t0\t%s\n", id, stage[id])
+				fmt.Fprintf(bw, "R\t%d\t0\t1\n", id)
+				delete(ids, key)
+				delete(stage, id)
+			}
+		case KSLFHit:
+			if id, ok := ids[key]; ok {
+				fmt.Fprintf(bw, "L\t%d\t1\tSLF hit key=%d\n", id, ev.Key)
+			}
+		case KGateClose:
+			// Gate transitions have no instruction row; record them as
+			// comment lines (viewers skip them, diffs and greps keep them).
+			fmt.Fprintf(bw, "#\tgate close tid=%d key=%d\n", t.tid, ev.Key)
+		case KGateReopen:
+			fmt.Fprintf(bw, "#\tgate reopen tid=%d key=%d\n", t.tid, ev.Key)
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,81 @@
+package obs
+
+// CoreSnapshot is the cumulative per-core state the sampler reads at an
+// interval boundary. The simulator fills it from the core's counters; the
+// Metrics series differences consecutive snapshots into interval rates.
+type CoreSnapshot struct {
+	// Retired is the cumulative retired-instruction count.
+	Retired uint64
+	// Squashes is the cumulative squash count (invalidation/eviction plus
+	// memory-dependence squashes).
+	Squashes uint64
+	// GateClosedCycles is the cumulative count of cycles the retire gate
+	// was closed.
+	GateClosedCycles uint64
+	// ROBOcc, LQOcc and SBOcc are the instantaneous structure occupancies.
+	ROBOcc, LQOcc, SBOcc int
+}
+
+// Sample is one interval-metrics row: core activity over (Cycle-Span,
+// Cycle].
+type Sample struct {
+	// Cycle is the interval's end cycle.
+	Cycle uint64 `json:"cycle"`
+	// Span is the interval length in cycles (the final sample of a run may
+	// be shorter than the configured interval).
+	Span uint64 `json:"span"`
+	// Core identifies the sampled core.
+	Core int `json:"core"`
+	// IPC is retired instructions per cycle over the interval.
+	IPC float64 `json:"ipc"`
+	// ROBOcc, LQOcc and SBOcc are the occupancies at the interval boundary.
+	ROBOcc int `json:"rob_occ"`
+	LQOcc  int `json:"lq_occ"`
+	SBOcc  int `json:"sb_occ"`
+	// GateClosedFrac is the fraction of the interval's cycles the retire
+	// gate was closed.
+	GateClosedFrac float64 `json:"gate_closed_frac"`
+	// Squashes counts pipeline flushes during the interval.
+	Squashes uint64 `json:"squashes"`
+}
+
+// Metrics accumulates the interval time series for one machine.
+type Metrics struct {
+	// Interval is the configured sampling period in cycles.
+	Interval uint64
+	// Samples holds the series in (cycle, core) order.
+	Samples []Sample
+
+	lastCycle uint64
+	last      []CoreSnapshot
+}
+
+func newMetrics(cores int, interval uint64) *Metrics {
+	return &Metrics{Interval: interval, last: make([]CoreSnapshot, cores)}
+}
+
+// Sample records one interval boundary at the given cycle. snaps must have
+// one entry per core. Boundaries with an empty span (e.g. a final flush at
+// an exact interval multiple) are ignored.
+func (m *Metrics) Sample(cycle uint64, snaps []CoreSnapshot) {
+	span := cycle - m.lastCycle
+	if span == 0 {
+		return
+	}
+	for core, s := range snaps {
+		prev := m.last[core]
+		m.Samples = append(m.Samples, Sample{
+			Cycle:          cycle,
+			Span:           span,
+			Core:           core,
+			IPC:            float64(s.Retired-prev.Retired) / float64(span),
+			ROBOcc:         s.ROBOcc,
+			LQOcc:          s.LQOcc,
+			SBOcc:          s.SBOcc,
+			GateClosedFrac: float64(s.GateClosedCycles-prev.GateClosedCycles) / float64(span),
+			Squashes:       s.Squashes - prev.Squashes,
+		})
+		m.last[core] = s
+	}
+	m.lastCycle = cycle
+}

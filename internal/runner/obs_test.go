@@ -1,0 +1,80 @@
+package runner
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"sesa/internal/config"
+	"sesa/internal/obs"
+	"sesa/internal/trace"
+)
+
+// tracedJobs builds a small model sweep with tracing enabled.
+func tracedJobs() []Job {
+	p, _ := trace.Lookup("x264")
+	opts := &obs.Options{BufCap: obs.DefaultBufCap, MetricsInterval: 500}
+	var jobs []Job
+	for _, m := range config.AllModels() {
+		jobs = append(jobs, Job{Profile: p, Model: m, InstPerCore: 1000, Seed: 42, Trace: opts})
+	}
+	return jobs
+}
+
+// exportAll renders the sweep's traces in job order, the way the CLIs do.
+func exportAll(t *testing.T, results []Result) ([]byte, []byte) {
+	t.Helper()
+	var runs []obs.Run
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		if r.Trace == nil {
+			t.Fatal("job ran without a tracer despite Job.Trace being set")
+		}
+		runs = append(runs, obs.Run{
+			Name:   fmt.Sprintf("x264/%s", r.Job.Model),
+			Tracer: r.Trace,
+		})
+	}
+	var chrome, kanata bytes.Buffer
+	if err := obs.WriteChrome(&chrome, runs); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WriteKanata(&kanata, runs); err != nil {
+		t.Fatal(err)
+	}
+	return chrome.Bytes(), kanata.Bytes()
+}
+
+// TestTraceByteIdenticalAcrossWorkers is the acceptance criterion: for a
+// fixed seed, exported traces are byte-identical no matter how many workers
+// ran the sweep. Running it under -race also exercises the per-job tracers
+// for sharing bugs.
+func TestTraceByteIdenticalAcrossWorkers(t *testing.T) {
+	cache := trace.NewCache()
+	serial, _ := Pool{Workers: 1, Cache: cache}.Run(tracedJobs())
+	parallel, _ := Pool{Workers: 8, Cache: cache}.Run(tracedJobs())
+
+	c1, k1 := exportAll(t, serial)
+	c8, k8 := exportAll(t, parallel)
+	if !bytes.Equal(c1, c8) {
+		t.Error("chrome trace differs between 1 and 8 workers")
+	}
+	if !bytes.Equal(k1, k8) {
+		t.Error("kanata trace differs between 1 and 8 workers")
+	}
+
+	// The metrics series must agree sample for sample too.
+	for i := range serial {
+		ms, mp := serial[i].Trace.Metrics(), parallel[i].Trace.Metrics()
+		if len(ms.Samples) != len(mp.Samples) {
+			t.Fatalf("job %d: %d vs %d metric samples", i, len(ms.Samples), len(mp.Samples))
+		}
+		for j := range ms.Samples {
+			if ms.Samples[j] != mp.Samples[j] {
+				t.Errorf("job %d sample %d differs: %+v vs %+v", i, j, ms.Samples[j], mp.Samples[j])
+			}
+		}
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"sesa/internal/config"
+	"sesa/internal/obs"
 	"sesa/internal/report"
 	"sesa/internal/sim"
 	"sesa/internal/stats"
@@ -45,6 +46,10 @@ type Job struct {
 	// 200*InstPerCore + 2M cycles, the liveness bound the benchmark
 	// harnesses have always used.
 	MaxCycles uint64
+	// Trace, when non-nil, attaches an observability tracer to the job's
+	// machine. Each job gets a private tracer (machines are single-threaded,
+	// a parallel sweep must not share one), returned in Result.Trace.
+	Trace *obs.Options
 }
 
 // DefaultMaxCycles is the cycle bound applied when Job.MaxCycles is zero.
@@ -69,6 +74,10 @@ type Result struct {
 	// Wall is the job's wall-clock duration (excluded from any
 	// deterministic output — it varies run to run).
 	Wall time.Duration
+	// Trace holds the job's recorded events and metrics when Job.Trace was
+	// set. Export happens after the sweep, in job order, so trace files are
+	// byte-identical no matter how many workers ran.
+	Trace *obs.Tracer
 }
 
 // Pool runs sweeps.
@@ -159,6 +168,10 @@ func (p Pool) runOne(i int, j Job) Result {
 			res.Err = err
 			return res
 		}
+	}
+	if j.Trace != nil {
+		res.Trace = obs.New(cfg.Cores, *j.Trace)
+		m.AttachTracer(res.Trace)
 	}
 	if err := m.Run(j.DefaultMaxCycles()); err != nil {
 		res.Err = err

@@ -10,6 +10,7 @@ import (
 	"sesa/internal/isa"
 	"sesa/internal/mem"
 	"sesa/internal/noc"
+	"sesa/internal/obs"
 	"sesa/internal/stats"
 )
 
@@ -20,6 +21,9 @@ type Machine struct {
 	net   *noc.Network
 	hier  *mem.Hierarchy
 	cores []*core.Core
+
+	// tracer is the observability sink; nil when tracing is disabled.
+	tracer *obs.Tracer
 
 	Stats *stats.Machine
 	cycle uint64
@@ -43,6 +47,42 @@ func New(cfg config.Config, workload string) (*Machine, error) {
 		m.cores[i] = core.New(i, cfg, m.hier, m.evq, &m.Stats.Cores[i])
 	}
 	return m, nil
+}
+
+// AttachTracer wires the observability sink through the cores and the
+// memory hierarchy. Call before the first Step; nil detaches.
+func (m *Machine) AttachTracer(t *obs.Tracer) {
+	m.tracer = t
+	for i, c := range m.cores {
+		ct := t.Core(i) // nil-safe: nil when t is nil or events are disabled
+		c.AttachTracer(ct)
+		m.hier.AttachTracer(i, ct)
+	}
+}
+
+// Tracer returns the attached observability sink (nil when disabled).
+func (m *Machine) Tracer() *obs.Tracer { return m.tracer }
+
+// sampleMetrics records one interval boundary from the live core state.
+func (m *Machine) sampleMetrics(cycle uint64) {
+	mt := m.tracer.Metrics()
+	if mt == nil {
+		return
+	}
+	snaps := make([]obs.CoreSnapshot, len(m.cores))
+	for i, c := range m.cores {
+		st := &m.Stats.Cores[i]
+		rob, lq, sb := c.Occupancy()
+		snaps[i] = obs.CoreSnapshot{
+			Retired:          st.RetiredInsts,
+			Squashes:         st.Squashes + st.DepSquashes,
+			GateClosedCycles: st.GateClosedCycles,
+			ROBOcc:           rob,
+			LQOcc:            lq,
+			SBOcc:            sb,
+		}
+	}
+	m.tracer.Metrics().Sample(cycle, snaps)
 }
 
 // Config returns the machine configuration.
@@ -93,6 +133,9 @@ func (m *Machine) Step() {
 		c.Tick(m.cycle)
 	}
 	m.cycle++
+	if iv := m.tracer.MetricsInterval(); iv > 0 && m.cycle%iv == 0 {
+		m.sampleMetrics(m.cycle)
+	}
 }
 
 // Run executes until every core finishes or maxCycles elapse; it returns an
@@ -115,5 +158,9 @@ func (m *Machine) Run(maxCycles uint64) error {
 		m.evq.RunUntil(next)
 	}
 	m.Stats.Cycles = m.cycle
+	// Close out the metrics series with the final (possibly short) interval.
+	if m.tracer.MetricsInterval() > 0 {
+		m.sampleMetrics(m.cycle)
+	}
 	return nil
 }

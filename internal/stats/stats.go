@@ -54,9 +54,11 @@ type Core struct {
 	GateStalls      uint64
 	GateStallCycles uint64
 
-	// GateCloses and GateReopens count retire-gate transitions.
-	GateCloses  uint64
-	GateReopens uint64
+	// GateCloses and GateReopens count retire-gate transitions, and
+	// GateClosedCycles the cycles the gate spent closed.
+	GateCloses       uint64
+	GateReopens      uint64
+	GateClosedCycles uint64
 
 	// Squashes counts pipeline flushes caused by an invalidation or
 	// eviction hitting a speculative performed load, and ReexecInsts the
@@ -149,6 +151,7 @@ func (m *Machine) Total() Core {
 		t.GateStallCycles += c.GateStallCycles
 		t.GateCloses += c.GateCloses
 		t.GateReopens += c.GateReopens
+		t.GateClosedCycles += c.GateClosedCycles
 		t.Squashes += c.Squashes
 		t.ReexecInsts += c.ReexecInsts
 		t.SASquashes += c.SASquashes
@@ -234,8 +237,10 @@ func (m *Machine) Characterize() Characterization {
 	return ch
 }
 
-// TableIVHeader is the header row for FormatTableIV output.
-const TableIVHeader = "Benchmark                 Instructions   Loads%%  Fwd%%   GateStall%%  AvgStallCyc  Reexec%%"
+// TableIVHeader is the header row matching FormatRow's columns. It is a
+// plain string (printed verbatim, not a Printf format), so percent signs
+// appear singly.
+const TableIVHeader = "Benchmark                 Instructions  Loads%    Fwd%  Gate-Stl%  AvgStallCyc  Reexec%"
 
 // FormatRow renders the characterization as one Table IV row.
 func (ch Characterization) FormatRow() string {

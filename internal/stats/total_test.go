@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestTotalEveryField fills every counter with distinct values on two cores
+// and checks Total aggregates each one — so a newly added Core field that is
+// forgotten in Total fails here instead of silently reading zero.
+func TestTotalEveryField(t *testing.T) {
+	m := New("370-SLFSoS-key", "w", 2)
+	fill := func(c *Core, base uint64) {
+		v := reflect.ValueOf(c).Elem()
+		for i := 0; i < v.NumField(); i++ {
+			f := v.Field(i)
+			switch f.Kind() {
+			case reflect.Uint64:
+				f.SetUint(base + uint64(i))
+			case reflect.Array:
+				for j := 0; j < f.Len(); j++ {
+					f.Index(j).SetUint(base + uint64(100+j))
+				}
+			default:
+				t.Fatalf("unhandled Core field kind %s — extend Total and this test", f.Kind())
+			}
+		}
+	}
+	fill(&m.Cores[0], 1000)
+	fill(&m.Cores[1], 5000)
+
+	tot := m.Total()
+	tv := reflect.ValueOf(tot)
+	c0 := reflect.ValueOf(m.Cores[0])
+	c1 := reflect.ValueOf(m.Cores[1])
+	for i := 0; i < tv.NumField(); i++ {
+		name := tv.Type().Field(i).Name
+		switch tv.Field(i).Kind() {
+		case reflect.Uint64:
+			got := tv.Field(i).Uint()
+			a, b := c0.Field(i).Uint(), c1.Field(i).Uint()
+			want := a + b
+			if name == "Cycles" {
+				want = b // max, and core 1 has the larger base
+			}
+			if got != want {
+				t.Errorf("Total().%s = %d, want %d — field not aggregated?", name, got, want)
+			}
+		case reflect.Array:
+			for j := 0; j < tv.Field(i).Len(); j++ {
+				got := tv.Field(i).Index(j).Uint()
+				want := c0.Field(i).Index(j).Uint() + c1.Field(i).Index(j).Uint()
+				if got != want {
+					t.Errorf("Total().%s[%d] = %d, want %d", name, j, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestCharacterizeDerivations pins each derived Table IV quantity to a
+// hand-computed value.
+func TestCharacterizeDerivations(t *testing.T) {
+	m := New("370-SLFSoS-key", "bench", 2)
+	m.Cycles = 1000
+	m.Cores[0] = Core{
+		Cycles: 1000, RetiredInsts: 1500, RetiredLoads: 600, SLFLoads: 150,
+		GateStalls: 30, GateStallCycles: 300,
+		Squashes: 4, ReexecInsts: 120, SAReexecInsts: 90,
+	}
+	m.Cores[1] = Core{
+		Cycles: 800, RetiredInsts: 500, RetiredLoads: 200, SLFLoads: 50,
+		GateStalls: 10, GateStallCycles: 100,
+		Squashes: 1, ReexecInsts: 40, SAReexecInsts: 30,
+	}
+	ch := m.Characterize()
+	if ch.Benchmark != "bench" || ch.Instructions != 2000 || ch.Cycles != 1000 {
+		t.Errorf("identity fields: %+v", ch)
+	}
+	if ch.LoadsPct != 40 { // 800/2000
+		t.Errorf("LoadsPct = %v", ch.LoadsPct)
+	}
+	if ch.ForwardedPct != 10 { // 200/2000
+		t.Errorf("ForwardedPct = %v", ch.ForwardedPct)
+	}
+	if ch.GateStallsPct != 2 { // 40/2000
+		t.Errorf("GateStallsPct = %v", ch.GateStallsPct)
+	}
+	if ch.AvgStallCycles != 10 { // 400/40
+		t.Errorf("AvgStallCycles = %v", ch.AvgStallCycles)
+	}
+	if ch.ReexecutedPct != 6 { // 120/2000
+		t.Errorf("ReexecutedPct = %v", ch.ReexecutedPct)
+	}
+	if ch.TotalReexecPct != 8 { // 160/2000
+		t.Errorf("TotalReexecPct = %v", ch.TotalReexecPct)
+	}
+	if ch.IPC != 2 { // 2000/1000
+		t.Errorf("IPC = %v", ch.IPC)
+	}
+	if ch.SquashesPerMInst != 2500 { // 5/2000 * 1e6
+		t.Errorf("SquashesPerMInst = %v", ch.SquashesPerMInst)
+	}
+}
+
+// TestCharacterizeExcludesIdleCores: Figure 9 stall percentages average over
+// cores that actually ran; a zero-cycle (idle) core must not dilute them.
+// This matters for the sequential SPECrate benchmarks, which run on one core
+// of the 8-core machine.
+func TestCharacterizeExcludesIdleCores(t *testing.T) {
+	m := New("370-SLFSoS-key", "seq", 8)
+	m.Cycles = 1000
+	m.Cores[0].Cycles = 1000
+	m.Cores[0].RetiredInsts = 500
+	m.Cores[0].StallCycles[StallROB] = 500
+	m.Cores[0].StallCycles[StallLQ] = 100
+	m.Cores[0].StallCycles[StallSQ] = 200
+	// Cores 1..7 idle: zero cycles.
+	ch := m.Characterize()
+	if ch.StallROBPct != 50 || ch.StallLQPct != 10 || ch.StallSQPct != 20 {
+		t.Errorf("idle cores diluted the stall averages: %+v", ch)
+	}
+	if ch.TotalStallPct != 80 {
+		t.Errorf("TotalStallPct = %v, want 80", ch.TotalStallPct)
+	}
+
+	// All-idle machine: no division by zero, all-zero percentages.
+	empty := New("370-SLFSoS-key", "empty", 2)
+	che := empty.Characterize()
+	if che.StallROBPct != 0 || che.TotalStallPct != 0 || che.IPC != 0 {
+		t.Errorf("empty machine characterization not zero: %+v", che)
+	}
+}

@@ -1,0 +1,100 @@
+package sesa
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"sesa/internal/litmus"
+	"sesa/internal/obs"
+	"sesa/internal/report"
+	"sesa/internal/sim"
+)
+
+// Tracer is the observability sink of one machine: per-core pipeline event
+// rings plus the interval-metrics series.
+type Tracer = obs.Tracer
+
+// TraceOptions configures a Tracer (ring capacity, metrics interval).
+type TraceOptions = obs.Options
+
+// TraceRun pairs a tracer with a name for export.
+type TraceRun = obs.Run
+
+// TraceEvent is one recorded pipeline event.
+type TraceEvent = obs.Event
+
+// DefaultTraceBufCap is the default per-core event ring capacity.
+const DefaultTraceBufCap = obs.DefaultBufCap
+
+// NewTracer builds a tracer for a machine with the given core count.
+func NewTracer(cores int, o TraceOptions) *Tracer { return obs.New(cores, o) }
+
+// WriteChromeTrace renders the runs as Chrome trace-event JSON, loadable in
+// Perfetto (ui.perfetto.dev) and chrome://tracing.
+func WriteChromeTrace(w io.Writer, runs []TraceRun) error { return obs.WriteChrome(w, runs) }
+
+// WriteKanataTrace renders the runs as a Kanata pipeline-viewer log.
+func WriteKanataTrace(w io.Writer, runs []TraceRun) error { return obs.WriteKanata(w, runs) }
+
+// AttachTracer wires an observability tracer through the system's cores and
+// memory hierarchy. Call before Run.
+func (s *System) AttachTracer(t *Tracer) { s.m.AttachTracer(t) }
+
+// Tracer returns the system's attached tracer (nil when tracing is off).
+func (s *System) Tracer() *Tracer { return s.m.Tracer() }
+
+// SimMachine is the underlying simulator machine, exposed for the
+// RunLitmusTraced attach hook.
+type SimMachine = sim.Machine
+
+// RunLitmusTraced is RunLitmus with a per-iteration machine hook, used to
+// attach tracers to litmus iterations.
+func RunLitmusTraced(t LitmusTest, model Model, iters int, seed uint64,
+	attach func(iter int, m *sim.Machine)) (*LitmusResult, error) {
+	return litmus.RunTraced(t, model, iters, seed, attach)
+}
+
+// ValidTraceFormats names the supported -trace-format values.
+const ValidTraceFormats = "chrome, kanata"
+
+// WriteTraceFile writes the runs to path as Chrome trace-event JSON
+// (format "chrome") or a Kanata pipeline log (format "kanata").
+func WriteTraceFile(path, format string, runs []TraceRun) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	switch format {
+	case "chrome":
+		err = WriteChromeTrace(f, runs)
+	case "kanata":
+		err = WriteKanataTrace(f, runs)
+	default:
+		err = fmt.Errorf("sesa: unknown trace format %q (want %s)", format, ValidTraceFormats)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// WriteMetricsFile writes the runs' interval-metrics series to path — JSON
+// when the path ends in .json, CSV otherwise.
+func WriteMetricsFile(path string, runs []TraceRun) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	series := report.NewMetricsSeries(runs)
+	if strings.HasSuffix(path, ".json") {
+		err = series.WriteJSON(f)
+	} else {
+		err = series.WriteCSV(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
