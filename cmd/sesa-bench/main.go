@@ -24,23 +24,69 @@ import (
 )
 
 var (
-	n      = flag.Int("n", 50_000, "instructions per core")
-	seed   = flag.Uint64("seed", 42, "trace seed")
-	suite  = flag.String("suite", "both", "parallel, sequential or both")
-	format = flag.String("format", "text", "output format for -table 4 and -fig 10: text, csv or json")
-	jobs   = flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel simulation workers (1 = serial)")
-	quiet  = flag.Bool("q", false, "suppress the sweep summary on stderr")
+	n          = flag.Int("n", 50_000, "instructions per core")
+	seed       = flag.Uint64("seed", 42, "trace seed")
+	suite      = flag.String("suite", "both", "parallel, sequential or both")
+	format     = flag.String("format", "text", "output format for -table 4 and -fig 10: text, csv or json")
+	jobs       = flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel simulation workers (1 = serial)")
+	quiet      = flag.Bool("q", false, "suppress the sweep summary on stderr")
+	histOut    = flag.String("hist-out", "", "write latency-distribution histograms to this file (empty with -hist-format set = stdout)")
+	histFormat = flag.String("hist-format", "", "histogram format, text or json; setting it (or -hist-out) enables histogram collection")
+	statusAddr = flag.String("status-addr", "", "serve live sweep status, expvar and pprof on this address (e.g. localhost:6060)")
 )
+
+// histRuns accumulates the per-job histogram runs, in job order, across
+// every sweep the invocation performs.
+var histRuns []sesa.HistRun
+
+// progress is non-nil when -status-addr is set.
+var progress *sesa.SweepProgress
+
+func histEnabled() bool { return *histOut != "" || *histFormat != "" }
 
 // sweep fans the experiment jobs across -jobs workers. Results come back in
 // job order, so stdout is byte-identical for any worker count; the
 // wall-clock summary goes to stderr.
 func sweep(js []sesa.SweepJob) []sesa.SweepResult {
-	results, summary := sesa.RunSweep(js, *jobs)
+	if histEnabled() {
+		for i := range js {
+			js[i].Hists = true
+		}
+	}
+	results, summary := sesa.RunSweepMonitored(js, *jobs, progress)
 	if !*quiet {
 		fmt.Fprintln(os.Stderr, summary)
 	}
+	for _, res := range results {
+		if res.Hists != nil {
+			histRuns = append(histRuns, sesa.NewHistRun(res.Job.Name(), res.Hists))
+		}
+	}
 	return results
+}
+
+// writeHists exports the accumulated histogram runs: every job's merged and
+// per-core tables, preceded by an "all" run merging the whole invocation.
+func writeHists() {
+	f := *histFormat
+	if f == "" {
+		f = "text"
+	}
+	rep := sesa.HistReport{
+		Title: fmt.Sprintf("latency distributions, %d instructions/core, seed %d", *n, *seed),
+		Runs:  histRuns,
+	}
+	if len(histRuns) > 1 {
+		all := &sesa.HistCollector{}
+		for _, r := range histRuns {
+			all.Merge(r.Merged)
+		}
+		rep.Runs = append([]sesa.HistRun{{Name: "all", Merged: all}}, histRuns...)
+	}
+	if err := sesa.WriteHistReport(*histOut, f, rep); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 }
 
 // benchmarkJobs builds the (profile × model) job grid in row-major order.
@@ -58,6 +104,16 @@ func main() {
 	table := flag.Int("table", 0, "regenerate a table (1-4)")
 	fig := flag.Int("fig", 0, "regenerate a figure (1-5, 9, 10)")
 	flag.Parse()
+
+	if *statusAddr != "" {
+		progress = sesa.NewSweepProgress()
+		addr, err := sesa.ServeStatus(*statusAddr, progress)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "status: http://%s/status\n", addr)
+	}
 
 	switch {
 	case *table == 1:
@@ -77,6 +133,10 @@ func main() {
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if histEnabled() {
+		writeHists()
 	}
 }
 

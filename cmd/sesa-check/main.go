@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"sesa"
 )
@@ -29,7 +30,7 @@ var modelPairs = []modelPair{
 }
 
 func main() {
-	testName := flag.String("test", "", "litmus test name (default: all)")
+	testName := flag.String("test", "", "litmus test name or comma-separated list (default: all)")
 	flag.Parse()
 
 	if err := run(os.Stdout, *testName); err != nil {
@@ -42,11 +43,22 @@ func main() {
 func run(w io.Writer, testName string) error {
 	tests := sesa.LitmusTests()
 	if testName != "" {
-		t, err := sesa.GetLitmus(testName)
-		if err != nil {
-			return err
+		tests = nil
+		for _, name := range strings.Split(testName, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			t, err := sesa.GetLitmus(name)
+			if err != nil {
+				return err
+			}
+			tests = append(tests, t)
 		}
-		tests = []sesa.LitmusTest{t}
+		if len(tests) == 0 {
+			return fmt.Errorf("-test %q selects no tests (valid tests: %s)",
+				testName, strings.Join(sesa.LitmusNames(), ", "))
+		}
 	}
 
 	for _, t := range tests {

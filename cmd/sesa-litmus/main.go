@@ -33,7 +33,10 @@ func main() {
 	traceBuf := flag.Int("trace-buf", sesa.DefaultTraceBufCap, "per-core trace ring capacity in events")
 	metricsInterval := flag.Uint64("metrics-interval", 0, "sample interval metrics every N cycles (0 disables)")
 	metricsOut := flag.String("metrics-out", "", "write interval metrics to this file (.json for JSON, else CSV)")
+	histOut := flag.String("hist-out", "", "write latency-distribution histograms to this file (empty with -hist-format set = stdout)")
+	histFormat := flag.String("hist-format", "", "histogram format, text or json; setting it (or -hist-out) enables histogram collection")
 	flag.Parse()
+	wantHists := *histOut != "" || *histFormat != ""
 
 	if *traceOut != "" && *traceFormat != "chrome" && *traceFormat != "kanata" {
 		fmt.Fprintf(os.Stderr, "unknown -trace-format %q (want %s)\n", *traceFormat, sesa.ValidTraceFormats)
@@ -52,17 +55,27 @@ func main() {
 		traceOpts = &o
 	}
 	var runs []sesa.TraceRun
+	var histRuns []sesa.HistRun
 
 	tests := sesa.LitmusTests()
 	if *testName != "" {
 		tests = nil
 		for _, name := range strings.Split(*testName, ",") {
-			t, err := sesa.GetLitmus(strings.TrimSpace(name))
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			t, err := sesa.GetLitmus(name)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
 			tests = append(tests, t)
+		}
+		if len(tests) == 0 {
+			fmt.Fprintf(os.Stderr, "-test %q selects no tests (valid tests: %s)\n",
+				*testName, strings.Join(sesa.LitmusNames(), ", "))
+			os.Exit(1)
 		}
 	}
 
@@ -94,17 +107,39 @@ func main() {
 		for _, model := range models {
 			var res *sesa.LitmusResult
 			var err error
-			if traceOpts != nil {
-				// Each iteration's machine records into its own tracer;
-				// runs are collected in iteration order.
+			if traceOpts != nil || wantHists {
+				// Each iteration's machine records into its own tracer and
+				// histogram set; runs are collected in iteration order, and
+				// the iteration sets merge into one distribution per
+				// (test, model) — exactly equivalent to one histogram fed
+				// every iteration's samples.
 				prefix := variant.Name + "/" + model.String()
+				var iterSets []*sesa.HistSet
 				res, err = sesa.RunLitmusTraced(variant, model, *iters, *seed,
 					func(iter int, m *sesa.SimMachine) {
-						tr := sesa.NewTracer(m.Config().Cores, *traceOpts)
-						m.AttachTracer(tr)
-						runs = append(runs, sesa.TraceRun{
-							Name: fmt.Sprintf("%s#%d", prefix, iter), Tracer: tr})
+						if traceOpts != nil {
+							tr := sesa.NewTracer(m.Config().Cores, *traceOpts)
+							m.AttachTracer(tr)
+							runs = append(runs, sesa.TraceRun{
+								Name: fmt.Sprintf("%s#%d", prefix, iter), Tracer: tr})
+						}
+						if wantHists {
+							hs := sesa.NewHistSet(m.Config().Cores)
+							m.AttachHists(hs)
+							iterSets = append(iterSets, hs)
+						}
 					})
+				if err == nil && len(iterSets) > 0 {
+					merged := iterSets[0]
+					for _, hs := range iterSets[1:] {
+						if err = merged.Merge(hs); err != nil {
+							break
+						}
+					}
+					if err == nil {
+						histRuns = append(histRuns, sesa.NewHistRun(prefix, merged))
+					}
+				}
 			} else {
 				res, err = sesa.RunLitmus(variant, model, *iters, *seed)
 			}
@@ -147,6 +182,20 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "wrote interval metrics to %s\n", *metricsOut)
+	}
+	if wantHists {
+		f := *histFormat
+		if f == "" {
+			f = "text"
+		}
+		rep := sesa.HistReport{
+			Title: fmt.Sprintf("latency distributions, %d iterations/model, seed %d", *iters, *seed),
+			Runs:  histRuns,
+		}
+		if err := sesa.WriteHistReport(*histOut, f, rep); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 	os.Exit(exit)
 }

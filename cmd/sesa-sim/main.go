@@ -34,7 +34,11 @@ func main() {
 	traceBuf := flag.Int("trace-buf", sesa.DefaultTraceBufCap, "per-core trace ring capacity in events")
 	metricsInterval := flag.Uint64("metrics-interval", 0, "sample interval metrics every N cycles (0 disables)")
 	metricsOut := flag.String("metrics-out", "", "write interval metrics to this file (.json for JSON, else CSV)")
+	histOut := flag.String("hist-out", "", "write latency-distribution histograms to this file (empty with -hist-format set = stdout)")
+	histFormat := flag.String("hist-format", "", "histogram format, text or json; setting it (or -hist-out) enables histogram collection")
+	statusAddr := flag.String("status-addr", "", "serve live sweep status, expvar and pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+	wantHists := *histOut != "" || *histFormat != ""
 
 	if *traceOut != "" && *traceFormat != "chrome" && *traceFormat != "kanata" {
 		fmt.Fprintf(os.Stderr, "unknown -trace-format %q (want %s)\n", *traceFormat, sesa.ValidTraceFormats)
@@ -120,6 +124,16 @@ func main() {
 	// serial path (its programs bypass the profile-keyed cache).
 	var results []sesa.SweepResult
 	if replay == nil {
+		var progress *sesa.SweepProgress
+		if *statusAddr != "" {
+			progress = sesa.NewSweepProgress()
+			addr, err := sesa.ServeStatus(*statusAddr, progress)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "status: http://%s/status\n", addr)
+		}
 		js := make([]sesa.SweepJob, len(models))
 		for i, model := range models {
 			j, err := sesa.BenchmarkJob(*bench, model, *n, *seed)
@@ -128,17 +142,24 @@ func main() {
 				os.Exit(1)
 			}
 			j.Trace = traceOpts
+			j.Hists = wantHists
 			js[i] = j
 		}
-		results, _ = sesa.RunSweep(js, *jobs)
+		var summary sesa.SweepSummary
+		results, summary = sesa.RunSweepMonitored(js, *jobs, progress)
+		if *jobs > 1 {
+			fmt.Fprintln(os.Stderr, summary)
+		}
 	}
 
 	var base uint64
 	var runs []sesa.TraceRun
+	var histRuns []sesa.HistRun
 	for mi, model := range models {
 		var ch sesa.Characterization
 		var st *sesa.Stats
 		var tr *sesa.Tracer
+		var hs *sesa.HistSet
 		var err error
 		if replay != nil {
 			cfg := sesa.DefaultConfig(model)
@@ -146,7 +167,7 @@ func main() {
 				cfg.Cores = len(replay)
 			}
 			w := sesa.Workload{Name: *traceIn, Programs: replay}
-			st, tr, err = runReplay(model, cfg, w, traceOpts)
+			st, tr, hs, err = runReplay(model, cfg, w, traceOpts, wantHists)
 			if err == nil {
 				ch = st.Characterize()
 			}
@@ -154,9 +175,13 @@ func main() {
 			res := results[mi]
 			ch, st, err = res.Char, res.Stats, res.Err
 			tr = res.Trace
+			hs = res.Hists
 		}
 		if tr != nil {
 			runs = append(runs, sesa.TraceRun{Name: *bench + "/" + model.String(), Tracer: tr})
+		}
+		if hs != nil {
+			histRuns = append(histRuns, sesa.NewHistRun(*bench+"/"+model.String(), hs))
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -175,6 +200,7 @@ func main() {
 			ch.StallROBPct, ch.StallLQPct, ch.StallSQPct)
 		fmt.Printf("   squashes %d (SA %d, dependence %d)   branch mispredicts %d\n",
 			t.Squashes, t.SASquashes, t.DepSquashes, t.BranchMispredicts)
+		fmt.Printf("   %s\n", st.NoC)
 	}
 
 	if *traceOut != "" {
@@ -191,19 +217,34 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wrote interval metrics to %s\n", *metricsOut)
 	}
+	if wantHists {
+		f := *histFormat
+		if f == "" {
+			f = "text"
+		}
+		rep := sesa.HistReport{
+			Title: fmt.Sprintf("latency distributions: %s, %d instructions/core, seed %d", *bench, *n, *seed),
+			Runs:  histRuns,
+		}
+		if err := sesa.WriteHistReport(*histOut, f, rep); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 }
 
 // runReplay runs a trace-file workload on one machine, optionally attaching
-// an observability tracer (the sweep path does this via SweepJob.Trace).
-func runReplay(model sesa.Model, cfg sesa.Config, w sesa.Workload, opts *sesa.TraceOptions) (*sesa.Stats, *sesa.Tracer, error) {
+// an observability tracer and latency histograms (the sweep path does this
+// via SweepJob.Trace / SweepJob.Hists).
+func runReplay(model sesa.Model, cfg sesa.Config, w sesa.Workload, opts *sesa.TraceOptions, wantHists bool) (*sesa.Stats, *sesa.Tracer, *sesa.HistSet, error) {
 	cfg.Model = model
 	sys, err := sesa.NewSystem(cfg, w.Name)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	for i, p := range w.Programs {
 		if err := sys.LoadProgram(i, p); err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 	}
 	var tr *sesa.Tracer
@@ -211,8 +252,13 @@ func runReplay(model sesa.Model, cfg sesa.Config, w sesa.Workload, opts *sesa.Tr
 		tr = sesa.NewTracer(cfg.Cores, *opts)
 		sys.AttachTracer(tr)
 	}
-	if err := sys.Run(1_000_000_000); err != nil {
-		return nil, nil, err
+	var hs *sesa.HistSet
+	if wantHists {
+		hs = sesa.NewHistSet(cfg.Cores)
+		sys.AttachHists(hs)
 	}
-	return sys.Stats(), tr, nil
+	if err := sys.Run(1_000_000_000); err != nil {
+		return nil, nil, nil, err
+	}
+	return sys.Stats(), tr, hs, nil
 }

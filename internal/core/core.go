@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"sesa/internal/config"
+	"sesa/internal/hist"
 	"sesa/internal/isa"
 	"sesa/internal/mem"
 	"sesa/internal/noc"
@@ -63,6 +64,12 @@ type Core struct {
 	// hook is one never-taken branch on the disabled path.
 	tr *obs.CoreTracer
 
+	// hc is the latency-histogram sink, nil-checked like tr.
+	hc *hist.Collector
+	// gateClosedAt is the cycle the retire gate last closed, the start of
+	// the episode the GateClosed histogram measures.
+	gateClosedAt uint64
+
 	done bool
 }
 
@@ -113,6 +120,10 @@ func (c *Core) Gate() *Gate { return &c.gate }
 // AttachTracer sets the core's observability sink (nil disables it). Call
 // before the first Tick; events recorded mid-run would miss prior history.
 func (c *Core) AttachTracer(t *obs.CoreTracer) { c.tr = t }
+
+// AttachHists sets the core's latency-histogram sink (nil disables it).
+// Call before the first Tick.
+func (c *Core) AttachHists(h *hist.Collector) { c.hc = h }
 
 // Occupancy returns the instantaneous ROB, LQ and SQ/SB occupancies, for
 // the interval-metrics sampler and for tests.
@@ -219,6 +230,7 @@ func (c *Core) doRetire(e *entry, now uint64) {
 				c.gate.CloseUnkeyed()
 			}
 			c.st.GateCloses++
+			c.gateClosedAt = now
 			if c.tr != nil {
 				c.tr.Record(obs.Event{Cycle: now, Kind: obs.KGateClose, Op: e.inst.Op,
 					Seq: e.dynSeq, TraceIdx: int32(e.traceIdx), Key: gk, Addr: e.inst.Addr})
@@ -227,7 +239,10 @@ func (c *Core) doRetire(e *entry, now uint64) {
 	case e.isStore():
 		c.st.RetiredStores++
 		// The store stays in its SQ/SB slot; retirement moves it
-		// logically from the SQ to the SB.
+		// logically from the SQ to the SB. Its residency there — the
+		// window during which it can hold the retire gate closed — is
+		// measured from here to its L1 write.
+		e.retiredAt = now
 	case e.inst.Op == isa.OpRMW:
 		c.st.RetiredLoads++
 		c.st.RetiredStores++
@@ -291,12 +306,18 @@ func (c *Core) storeWrote(e *entry, when uint64) {
 	e.writtenL1 = true
 	c.drainInflight--
 	c.sq.free(e)
+	if c.hc != nil {
+		c.hc.Observe(hist.SBResidency, when-e.retiredAt)
+	}
 	if c.tr != nil {
 		c.tr.Record(obs.Event{Cycle: when, Kind: obs.KSBInsert, Op: e.inst.Op,
 			Seq: e.dynSeq, TraceIdx: int32(e.traceIdx), Key: obsKey(e.sqKey), Addr: e.inst.Addr})
 	}
 	if c.gate.StoreWrote(e.sqKey) {
 		c.st.GateReopens++
+		if c.hc != nil {
+			c.hc.Observe(hist.GateClosed, when-c.gateClosedAt)
+		}
 		if c.tr != nil {
 			c.tr.Record(obs.Event{Cycle: when, Kind: obs.KGateReopen, Op: e.inst.Op,
 				Seq: e.dynSeq, TraceIdx: int32(e.traceIdx), Key: obsKey(e.sqKey), Addr: e.inst.Addr})
@@ -306,6 +327,9 @@ func (c *Core) storeWrote(e *entry, when uint64) {
 	if c.model == config.SLFSoS370 && !c.sq.anyRetiredUnwritten() {
 		if c.gate.SBDrained() {
 			c.st.GateReopens++
+			if c.hc != nil {
+				c.hc.Observe(hist.GateClosed, when-c.gateClosedAt)
+			}
 			if c.tr != nil {
 				c.tr.Record(obs.Event{Cycle: when, Kind: obs.KGateReopen, Op: e.inst.Op,
 					Seq: e.dynSeq, TraceIdx: int32(e.traceIdx), Key: obs.KeyNone, Addr: e.inst.Addr})
@@ -578,6 +602,9 @@ func (c *Core) tryIssueLoad(e *entry, now uint64) bool {
 		e.slfKey = match.sqKey
 		e.status = stIssued
 		e.execDone = now + uint64(c.l1Lat)
+		if c.hc != nil {
+			c.hc.Observe(hist.LoadSLF, e.execDone-now)
+		}
 		if c.tr != nil {
 			c.tr.Record(obs.Event{Cycle: now, Kind: obs.KSLFHit, Op: e.inst.Op,
 				Seq: e.dynSeq, TraceIdx: int32(e.traceIdx), Key: obsKey(e.slfKey), Addr: e.inst.Addr})

@@ -89,6 +89,9 @@ type entry struct {
 	sqKey        key  // slot + sorting bit
 	writtenL1    bool // store has written to the L1 (inserted in memory order)
 	draining     bool // write request issued to the hierarchy
+	// retiredAt is the cycle the store retired into the SB portion of its
+	// slot; the SBResidency histogram measures from here to the L1 write.
+	retiredAt uint64
 }
 
 // isLoad reports whether the entry occupies a load-queue slot.

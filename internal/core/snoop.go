@@ -2,6 +2,7 @@ package core
 
 import (
 	"sesa/internal/config"
+	"sesa/internal/hist"
 	"sesa/internal/isa"
 	"sesa/internal/obs"
 )
@@ -170,4 +171,10 @@ func (c *Core) squashFrom(from *entry, now uint64, countReexec, saOnly bool, cau
 
 	c.fetchIdx = from.traceIdx
 	c.redirectUntil = maxU64(c.redirectUntil, now+uint64(c.cfg.SquashRefillPenalty))
+	if c.hc != nil {
+		// The squash-to-refill cost: cycles dispatch stays blocked from
+		// this squash until its refill window ends (overlapping windows
+		// extend it past the fixed penalty).
+		c.hc.Observe(hist.SquashRefill, c.redirectUntil-now)
+	}
 }

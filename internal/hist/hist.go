@@ -1,0 +1,209 @@
+// Package hist provides the allocation-free, log-bucketed latency
+// histograms behind the simulator's distribution-level metrics.
+//
+// The paper's cost argument (Section IV) is about where cycles go — SLF
+// forwarding latency, gate-closed stalls, squash refill windows, remote
+// coherence round trips — and machine-wide averages hide exactly the tails
+// that argument rests on. A Hist buckets uint64 cycle counts HDR-style:
+// exact buckets below 2*subCount, then 2^subBits sub-buckets per binary
+// order of magnitude, bounding the relative error of any reported quantile
+// to ~3% while covering the full uint64 range with a fixed array.
+//
+// Recording never allocates (the bucket array is part of the struct), and
+// two histograms merge by adding their bucket arrays, so per-core
+// histograms merge into machine histograms and machine histograms merge
+// across runner jobs without losing any percentile: merging N histograms
+// is exactly equivalent to one histogram fed all N sample streams.
+package hist
+
+import (
+	"math"
+	"math/bits"
+)
+
+const (
+	// subBits sets the resolution: 2^subBits sub-buckets per power of two,
+	// i.e. a worst-case relative quantile error of 1/2^subBits ≈ 3%.
+	subBits  = 5
+	subCount = 1 << subBits
+	// numBuckets covers the full uint64 range: values below 2*subCount get
+	// exact unit buckets, every further binary order of magnitude gets
+	// subCount log-spaced buckets.
+	numBuckets = (64 - subBits + 1) * subCount
+)
+
+// bucketIndex maps a value to its bucket. Values below 2*subCount map
+// exactly (shift 0); above, the top subBits+1 significand bits select the
+// bucket within the value's binary order of magnitude.
+func bucketIndex(v uint64) int {
+	shift := bits.Len64(v) - subBits - 1
+	if shift <= 0 {
+		return int(v)
+	}
+	return shift*subCount + int(v>>uint(shift))
+}
+
+// bucketBound returns the largest value that maps to bucket i — the value
+// reported for any quantile that lands in the bucket.
+func bucketBound(i int) uint64 {
+	if i < 2*subCount {
+		return uint64(i)
+	}
+	shift := uint(i/subCount - 1)
+	base := uint64(i) - uint64(shift)*subCount
+	return ((base + 1) << shift) - 1
+}
+
+// Hist is a log-bucketed histogram of uint64 samples (cycle counts). The
+// zero value is ready to use; recording is allocation-free. A Hist is not
+// safe for concurrent use — like the machines that feed it, each simulation
+// owns its histograms and merges happen after the fact.
+type Hist struct {
+	counts [numBuckets]uint64
+	count  uint64
+	sum    uint64
+	min    uint64
+	max    uint64
+}
+
+// Record adds one sample.
+func (h *Hist) Record(v uint64) { h.RecordN(v, 1) }
+
+// RecordN adds n samples of value v.
+func (h *Hist) RecordN(v, n uint64) {
+	if n == 0 {
+		return
+	}
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.counts[bucketIndex(v)] += n
+	h.count += n
+	h.sum += v * n
+}
+
+// Merge folds o into h. Merging is exact: the result is indistinguishable
+// from a histogram that recorded both sample streams directly.
+func (h *Hist) Merge(o *Hist) {
+	if o == nil || o.count == 0 {
+		return
+	}
+	if h.count == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	for i, c := range o.counts {
+		if c != 0 {
+			h.counts[i] += c
+		}
+	}
+	h.count += o.count
+	h.sum += o.sum
+}
+
+// Count returns the number of recorded samples.
+func (h *Hist) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// Sum returns the sum of all recorded samples.
+func (h *Hist) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Min returns the smallest recorded sample (0 when empty).
+func (h *Hist) Min() uint64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest recorded sample (0 when empty).
+func (h *Hist) Max() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.max
+}
+
+// Mean returns the arithmetic mean of the samples (0 when empty).
+func (h *Hist) Mean() float64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Quantile returns the value at quantile q in [0, 1]: the upper bound of
+// the bucket holding the ceil(q*count)-th sample, clamped to the exactly
+// tracked min and max. Empty histograms report 0.
+func (h *Hist) Quantile(q float64) uint64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	rank := uint64(math.Ceil(q * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i := range h.counts {
+		c := h.counts[i]
+		if c == 0 {
+			continue
+		}
+		cum += c
+		if cum >= rank {
+			v := bucketBound(i)
+			if v > h.max {
+				v = h.max
+			}
+			if v < h.min {
+				v = h.min
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// Summary is the fixed percentile digest every exporter reports.
+type Summary struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	Min   uint64  `json:"min"`
+	P50   uint64  `json:"p50"`
+	P90   uint64  `json:"p90"`
+	P99   uint64  `json:"p99"`
+	Max   uint64  `json:"max"`
+}
+
+// Summarize digests the histogram into the reported percentiles.
+func (h *Hist) Summarize() Summary {
+	return Summary{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		Min:   h.Min(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+		Max:   h.Max(),
+	}
+}

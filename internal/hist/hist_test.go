@@ -1,0 +1,229 @@
+package hist
+
+import (
+	"math"
+	"math/bits"
+	"math/rand"
+	"testing"
+)
+
+// TestBucketIndexBounds: every uint64 maps inside the bucket array, and the
+// bucket's bound is never below the value's bucket floor.
+func TestBucketIndexBounds(t *testing.T) {
+	vals := []uint64{0, 1, subCount - 1, subCount, 2*subCount - 1, 2 * subCount,
+		63, 64, 65, 1000, 1 << 20, 1<<40 + 12345, math.MaxUint64}
+	for _, v := range vals {
+		i := bucketIndex(v)
+		if i < 0 || i >= numBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of [0,%d)", v, i, numBuckets)
+		}
+		if ub := bucketBound(i); ub < v {
+			t.Errorf("bucketBound(bucketIndex(%d)) = %d < value", v, ub)
+		}
+	}
+}
+
+// TestBucketRelativeError: the bucket upper bound overestimates a value by
+// at most one part in subCount (the HDR resolution guarantee).
+func TestBucketRelativeError(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for n := 0; n < 100000; n++ {
+		v := rng.Uint64() >> uint(rng.Intn(64))
+		ub := bucketBound(bucketIndex(v))
+		if ub < v {
+			t.Fatalf("upper bound %d below value %d", ub, v)
+		}
+		// err <= v / subCount, conservatively allowing the +1 of the bound.
+		if float64(ub-v) > float64(v)/subCount+1 {
+			t.Fatalf("value %d bucketed at %d: relative error too large", v, ub)
+		}
+	}
+}
+
+// TestBucketMonotone: bucket indices and bounds are monotone in the value,
+// so quantiles are order-consistent.
+func TestBucketMonotone(t *testing.T) {
+	prev := -1
+	for v := uint64(0); v < 1<<14; v++ {
+		i := bucketIndex(v)
+		if i < prev {
+			t.Fatalf("bucketIndex not monotone at %d: %d < %d", v, i, prev)
+		}
+		prev = i
+	}
+	for i := 1; i < numBuckets; i++ {
+		if bucketBound(i) <= bucketBound(i-1) {
+			t.Fatalf("bucketBound not strictly increasing at %d", i)
+		}
+	}
+}
+
+// TestMergeEqualsSingle is the satellite property test: merging per-core
+// histograms must be exactly equivalent to one histogram fed all samples —
+// same count, sum, min, max and every reported percentile.
+func TestMergeEqualsSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		cores := 1 + rng.Intn(8)
+		parts := make([]*Hist, cores)
+		for i := range parts {
+			parts[i] = &Hist{}
+		}
+		single := &Hist{}
+		n := rng.Intn(5000)
+		for s := 0; s < n; s++ {
+			// Mix magnitudes: exact region, mid-range and heavy tail.
+			v := rng.Uint64() >> uint(rng.Intn(64))
+			parts[rng.Intn(cores)].Record(v)
+			single.Record(v)
+		}
+		merged := &Hist{}
+		for _, p := range parts {
+			merged.Merge(p)
+		}
+		if merged.Count() != single.Count() || merged.Sum() != single.Sum() {
+			t.Fatalf("trial %d: count/sum diverge: %d/%d vs %d/%d",
+				trial, merged.Count(), merged.Sum(), single.Count(), single.Sum())
+		}
+		if merged.Min() != single.Min() || merged.Max() != single.Max() {
+			t.Fatalf("trial %d: min/max diverge", trial)
+		}
+		for _, q := range []float64{0, 0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1} {
+			if m, s := merged.Quantile(q), single.Quantile(q); m != s {
+				t.Fatalf("trial %d: q%.3f diverges: merged %d vs single %d", trial, q, m, s)
+			}
+		}
+		if merged.Summarize() != single.Summarize() {
+			t.Fatalf("trial %d: summaries diverge", trial)
+		}
+	}
+}
+
+// TestQuantileExactRegion: below 2*subCount buckets are exact, so quantiles
+// of small samples are exact order statistics (by bucket upper bound).
+func TestQuantileExactRegion(t *testing.T) {
+	h := &Hist{}
+	for v := uint64(1); v <= 100; v++ {
+		h.Record(v)
+	}
+	if got := h.Quantile(0.5); got != 50 {
+		t.Errorf("p50 of 1..100 = %d, want 50", got)
+	}
+	if got := h.Quantile(0.99); got != 99 {
+		t.Errorf("p99 of 1..100 = %d, want 99", got)
+	}
+	if got := h.Quantile(1); got != 100 {
+		t.Errorf("p100 of 1..100 = %d, want 100", got)
+	}
+	if got := h.Quantile(0); got != 1 {
+		t.Errorf("p0 of 1..100 = %d, want 1", got)
+	}
+}
+
+// TestQuantileClamped: reported quantiles never leave [min, max] even when
+// the containing bucket's bound does.
+func TestQuantileClamped(t *testing.T) {
+	h := &Hist{}
+	h.Record(1 << 33) // bucket bound overshoots the single sample
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 1<<33 {
+			t.Errorf("single-sample q%.2f = %d, want %d", q, got, uint64(1)<<33)
+		}
+	}
+}
+
+// TestEmptyAndNil: the zero value and nil receivers are safe and report
+// zeros.
+func TestEmptyAndNil(t *testing.T) {
+	var h Hist
+	if h.Count() != 0 || h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Error("empty histogram reports nonzero digests")
+	}
+	var nilH *Hist
+	if nilH.Count() != 0 || nilH.Quantile(0.9) != 0 || nilH.Max() != 0 || nilH.Sum() != 0 {
+		t.Error("nil histogram reports nonzero digests")
+	}
+	h.Merge(nil)
+	h.Merge(&Hist{})
+	if h.Count() != 0 {
+		t.Error("merging empties changed the histogram")
+	}
+}
+
+// TestRecordN: weighted recording matches repeated recording.
+func TestRecordN(t *testing.T) {
+	a, b := &Hist{}, &Hist{}
+	a.RecordN(37, 1000)
+	for i := 0; i < 1000; i++ {
+		b.Record(37)
+	}
+	if a.Summarize() != b.Summarize() {
+		t.Errorf("RecordN diverges from repeated Record: %+v vs %+v", a.Summarize(), b.Summarize())
+	}
+	a.RecordN(5, 0)
+	if a.Count() != 1000 {
+		t.Error("RecordN with n=0 recorded something")
+	}
+}
+
+// TestCollectorMergeAndSet: collectors merge metric-by-metric and sets
+// merge core-by-core; shape mismatches are rejected.
+func TestCollectorMergeAndSet(t *testing.T) {
+	s := NewSet(2)
+	s.Core(0).Observe(LoadL1, 4)
+	s.Core(1).Observe(LoadL1, 8)
+	s.Net().Observe(NoCControl, 6)
+
+	m := s.Merged()
+	if got := m.H(LoadL1).Count(); got != 2 {
+		t.Errorf("merged load-l1 count = %d, want 2", got)
+	}
+	if got := m.H(NoCControl).Count(); got != 1 {
+		t.Errorf("merged noc-control count = %d, want 1", got)
+	}
+
+	o := NewSet(2)
+	o.Core(0).Observe(LoadL1, 16)
+	if err := s.Merge(o); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Core(0).H(LoadL1).Count(); got != 2 {
+		t.Errorf("set merge lost samples: count = %d, want 2", got)
+	}
+	if err := s.Merge(NewSet(3)); err == nil {
+		t.Error("merging mismatched core counts did not error")
+	}
+
+	var nilSet *Set
+	if nilSet.Core(0) != nil || nilSet.Net() != nil || nilSet.Cores() != 0 {
+		t.Error("nil set accessors are not nil-safe")
+	}
+	if nilSet.Merged().H(LoadL1).Count() != 0 {
+		t.Error("nil set merged view is not empty")
+	}
+}
+
+// TestMetricNames: every metric has a distinct printable name (exporters
+// key tables on them).
+func TestMetricNames(t *testing.T) {
+	seen := map[string]bool{}
+	for m := Metric(0); m < NumMetrics; m++ {
+		n := m.String()
+		if n == "" || seen[n] {
+			t.Errorf("metric %d has empty or duplicate name %q", m, n)
+		}
+		seen[n] = true
+	}
+}
+
+// TestHighBitLen sanity-checks the index math against the documented
+// geometry: the top bucket holds MaxUint64.
+func TestHighBitLen(t *testing.T) {
+	i := bucketIndex(math.MaxUint64)
+	if i != numBuckets-1 {
+		t.Errorf("MaxUint64 lands in bucket %d, want %d", i, numBuckets-1)
+	}
+	if got := bits.Len64(math.MaxUint64); got != 64 {
+		t.Fatalf("bits.Len64(MaxUint64) = %d", got)
+	}
+}

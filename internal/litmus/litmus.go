@@ -5,6 +5,7 @@ package litmus
 
 import (
 	"fmt"
+	"strings"
 
 	"sesa/internal/checker"
 	"sesa/internal/config"
@@ -368,14 +369,26 @@ func Tests() []Test {
 	}
 }
 
-// Get returns the named test.
+// Names returns the names of the full suite in presentation order.
+func Names() []string {
+	ts := Tests()
+	names := make([]string, len(ts))
+	for i, t := range ts {
+		names[i] = t.Name
+	}
+	return names
+}
+
+// Get returns the named test; the error for an unknown name lists every
+// valid one.
 func Get(name string) (Test, error) {
 	for _, t := range Tests() {
 		if t.Name == name {
 			return t, nil
 		}
 	}
-	return Test{}, fmt.Errorf("litmus: unknown test %q", name)
+	return Test{}, fmt.Errorf("litmus: unknown test %q (valid tests: %s)",
+		name, strings.Join(Names(), ", "))
 }
 
 // WithSBPressure returns a variant of the test in which every thread that

@@ -2,6 +2,7 @@ package mem
 
 import (
 	"sesa/internal/config"
+	"sesa/internal/hist"
 	"sesa/internal/noc"
 	"sesa/internal/obs"
 )
@@ -59,6 +60,10 @@ type Hierarchy struct {
 	// tracing is disabled.
 	tracers []*obs.CoreTracer
 
+	// hists holds the per-core latency-histogram sinks; entries are nil
+	// when histograms are disabled.
+	hists []*hist.Collector
+
 	// busyUntil serializes coherence transactions per line, like a
 	// blocking directory entry. now tracks the latest request time seen,
 	// so lineBusy can distinguish live transactions from finished ones.
@@ -89,6 +94,7 @@ func NewHierarchy(cores int, cfg config.Memory, net *noc.Network, evq *noc.Event
 		image:     make(map[uint64]uint64),
 		listeners: make([]InvalListener, cores),
 		tracers:   make([]*obs.CoreTracer, cores),
+		hists:     make([]*hist.Collector, cores),
 		busyUntil: make(map[uint64]uint64),
 		pref:      make([]strideState, cores),
 	}
@@ -107,6 +113,10 @@ func (h *Hierarchy) SetInvalListener(core int, fn InvalListener) { h.listeners[c
 // AttachTracer sets the observability sink for one core's snoop events
 // (nil disables it).
 func (h *Hierarchy) AttachTracer(core int, t *obs.CoreTracer) { h.tracers[core] = t }
+
+// AttachHists sets the latency-histogram sink for one core's loads (nil
+// disables it).
+func (h *Hierarchy) AttachHists(core int, c *hist.Collector) { h.hists[core] = c }
 
 // recordSnoop logs the delivery of an invalidation or eviction to a core.
 func (h *Hierarchy) recordSnoop(core int, lineAddr, when uint64, eviction bool) {
@@ -305,8 +315,11 @@ func (h *Hierarchy) evictDirEntry(ev dirEntry, t uint64) {
 // nil (prefetch).
 func (h *Hierarchy) Load(core int, addr uint64, size uint8, t uint64, done func(val uint64, when uint64)) {
 	h.advance(t)
-	when := h.loadLine(core, addr, t, false)
+	when, lvl := h.loadLine(core, addr, t, false)
 	h.Stats.LoadsCompleted++
+	if hc := h.hists[core]; hc != nil {
+		hc.Observe(lvl, when-t)
+	}
 	h.evq.Schedule(when, func() {
 		if done != nil {
 			done(h.ReadImage(addr, size), when)
@@ -316,16 +329,17 @@ func (h *Hierarchy) Load(core int, addr uint64, size uint8, t uint64, done func(
 }
 
 // loadLine obtains a readable (S/E/M) copy of addr's line for core and
-// returns the cycle at which the data is available. prefetch suppresses the
+// returns the cycle at which the data is available plus the service level
+// that supplied it (the latency-histogram bucket). prefetch suppresses the
 // stride-prefetcher trigger.
-func (h *Hierarchy) loadLine(core int, addr uint64, t uint64, prefetch bool) uint64 {
+func (h *Hierarchy) loadLine(core int, addr uint64, t uint64, prefetch bool) (uint64, hist.Metric) {
 	lineAddr := h.LineAddr(addr)
 	l1lat := uint64(h.cfg.L1D.HitCycles)
 	if h.l1[core].Lookup(lineAddr) != Invalid {
 		h.Stats.L1Hits++
 		// claimLine clamps to any in-flight transaction on the line
 		// (e.g. an ownership prefetch whose data has not arrived yet).
-		return h.claimLine(lineAddr, t+l1lat)
+		return h.claimLine(lineAddr, t+l1lat), hist.LoadL1
 	}
 	h.Stats.L1Misses++
 	t2 := t + l1lat + uint64(h.cfg.L2.HitCycles)
@@ -338,7 +352,7 @@ func (h *Hierarchy) loadLine(core int, addr uint64, t uint64, prefetch bool) uin
 			}
 			h.notifyEviction(core, v.LineAddr, t2)
 		}
-		return h.claimLine(lineAddr, t2)
+		return h.claimLine(lineAddr, t2), hist.LoadL2
 	}
 	h.Stats.L2Misses++
 
@@ -352,12 +366,14 @@ func (h *Hierarchy) loadLine(core int, addr uint64, t uint64, prefetch bool) uin
 	}
 
 	var dataAt uint64
+	lvl := hist.LoadL3
 	grant := Shared
 	switch {
 	case e.owner >= 0 && e.owner != core:
 		// Owner holds E/M: forward the request; the owner downgrades
 		// to S and supplies the data.
 		h.Stats.OwnerForwards++
+		lvl = hist.LoadRemote
 		owner := e.owner
 		fwd := req + h.ctrl()
 		h.evq.Schedule(fwd, func() {
@@ -376,6 +392,7 @@ func (h *Hierarchy) loadLine(core int, addr uint64, t uint64, prefetch bool) uin
 	default:
 		h.Stats.L3Misses++
 		h.Stats.MemAccesses++
+		lvl = hist.LoadMem
 		dataAt = req + uint64(h.cfg.L3.HitCycles) + uint64(h.cfg.MemCycles) + h.data()
 		e.presentL3 = true
 		h.insertL3(lineAddr)
@@ -388,7 +405,7 @@ func (h *Hierarchy) loadLine(core int, addr uint64, t uint64, prefetch bool) uin
 	}
 	h.releaseLine(lineAddr, dataAt)
 	h.fillPrivate(core, lineAddr, grant, dataAt)
-	return dataAt
+	return dataAt, lvl
 }
 
 // maybePrefetch runs the per-core stride detector and issues a next-stride
@@ -411,6 +428,8 @@ func (h *Hierarchy) maybePrefetch(core int, addr uint64, t uint64) {
 		next := uint64(int64(lineAddr) + st)
 		if !h.l1[core].Resident(next) && !h.lineBusy(next) {
 			h.Stats.Prefetches++
+			// Prefetches do not record latency: they are not on any
+			// load's critical path.
 			h.loadLine(core, next, t, true)
 		}
 	}

@@ -8,7 +8,10 @@
 // optional deterministic jitter used by litmus witness search.
 package noc
 
-import "sesa/internal/config"
+import (
+	"sesa/internal/config"
+	"sesa/internal/hist"
+)
 
 // MsgKind classifies interconnect messages by size class.
 type MsgKind int
@@ -21,11 +24,15 @@ const (
 	Data
 )
 
-// Traffic accumulates interconnect usage counters.
+// Traffic accumulates interconnect usage counters, per message class so
+// Table IV-style reports can attribute bandwidth to coherence control
+// versus line transfers.
 type Traffic struct {
-	ControlMsgs uint64
-	DataMsgs    uint64
-	Flits       uint64
+	ControlMsgs  uint64
+	DataMsgs     uint64
+	ControlFlits uint64
+	DataFlits    uint64
+	Flits        uint64
 }
 
 // Network is the fully connected interconnect model.
@@ -34,7 +41,14 @@ type Network struct {
 	jitter  int
 	rng     rngState
 	Traffic Traffic
+
+	// hc is the latency-histogram sink; nil when histograms are disabled.
+	hc *hist.Collector
 }
+
+// AttachHists sets the network's histogram collector (nil disables it);
+// every delivered message records its per-class latency.
+func (n *Network) AttachHists(c *hist.Collector) { n.hc = c }
 
 // New returns a network with the given parameters. jitter adds a
 // deterministic pseudo-random 0..jitter extra cycles to each message (0
@@ -51,14 +65,23 @@ func (n *Network) Delay(kind MsgKind) int {
 	case Data:
 		d = n.cfg.DataLatency()
 		n.Traffic.DataMsgs++
+		n.Traffic.DataFlits += uint64(n.cfg.DataFlits)
 		n.Traffic.Flits += uint64(n.cfg.DataFlits)
 	default:
 		d = n.cfg.ControlLatency()
 		n.Traffic.ControlMsgs++
+		n.Traffic.ControlFlits += uint64(n.cfg.ControlFlits)
 		n.Traffic.Flits += uint64(n.cfg.ControlFlits)
 	}
 	if n.jitter > 0 {
 		d += int(n.rng.next() % uint64(n.jitter+1))
+	}
+	if n.hc != nil {
+		m := hist.NoCControl
+		if kind == Data {
+			m = hist.NoCData
+		}
+		n.hc.Observe(m, uint64(d))
 	}
 	return d
 }

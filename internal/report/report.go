@@ -136,9 +136,12 @@ func f(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
 // stderr or a perf log, never interleaved with table output that must be
 // byte-identical across worker counts.
 type SweepSummary struct {
-	Jobs    int `json:"jobs"`
-	Failed  int `json:"failed"`
-	Workers int `json:"workers"`
+	Jobs   int `json:"jobs"`
+	Failed int `json:"failed"`
+	// TimedOut is the subset of Failed whose machines exceeded their cycle
+	// bound (the liveness check) rather than failing outright.
+	TimedOut int `json:"timed_out"`
+	Workers  int `json:"workers"`
 	// WallSeconds is the end-to-end sweep duration.
 	WallSeconds float64 `json:"wall_seconds"`
 	// SimCycles and SimInsts total the simulated cycles and retired
@@ -170,8 +173,8 @@ func (s SweepSummary) InstsPerSecond() float64 {
 // String renders the one-line summary the CLIs print to stderr.
 func (s SweepSummary) String() string {
 	return fmt.Sprintf(
-		"sweep: %d jobs (%d failed) on %d workers in %.2fs — %d simulated cycles (%.3g cyc/s), %d instructions (%.3g inst/s), trace cache %d hits / %d misses",
-		s.Jobs, s.Failed, s.Workers, s.WallSeconds,
+		"sweep: %d jobs (%d failed, %d timed out) on %d workers in %.2fs — %d simulated cycles (%.3g cyc/s), %d instructions (%.3g inst/s), trace cache %d hits / %d misses",
+		s.Jobs, s.Failed, s.TimedOut, s.Workers, s.WallSeconds,
 		s.SimCycles, s.CyclesPerSecond(), s.SimInsts, s.InstsPerSecond(),
 		s.TraceCacheHits, s.TraceCacheMisses)
 }

@@ -15,12 +15,14 @@
 package runner
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"time"
 
 	"sesa/internal/config"
+	"sesa/internal/hist"
 	"sesa/internal/obs"
 	"sesa/internal/report"
 	"sesa/internal/sim"
@@ -50,6 +52,16 @@ type Job struct {
 	// machine. Each job gets a private tracer (machines are single-threaded,
 	// a parallel sweep must not share one), returned in Result.Trace.
 	Trace *obs.Options
+	// Hists, when true, attaches a latency-histogram set to the job's
+	// machine. Like Trace, each job gets a private set, returned in
+	// Result.Hists, so histograms are identical no matter how many workers
+	// ran the sweep.
+	Hists bool
+}
+
+// Name identifies the job in progress reports: workload profile plus model.
+func (j Job) Name() string {
+	return fmt.Sprintf("%s/%s/seed%d", j.Profile.Name, j.Model, j.Seed)
 }
 
 // DefaultMaxCycles is the cycle bound applied when Job.MaxCycles is zero.
@@ -78,6 +90,14 @@ type Result struct {
 	// set. Export happens after the sweep, in job order, so trace files are
 	// byte-identical no matter how many workers ran.
 	Trace *obs.Tracer
+	// Hists holds the job's latency histograms when Job.Hists was set.
+	Hists *hist.Set
+}
+
+// TimedOut reports whether the job failed by exceeding its cycle bound.
+func (r *Result) TimedOut() bool {
+	var te *sim.TimeoutError
+	return errors.As(r.Err, &te)
 }
 
 // Pool runs sweeps.
@@ -89,6 +109,9 @@ type Pool struct {
 	// Cache deduplicates trace generation across jobs. Nil means each job
 	// generates its own trace (the historical behaviour).
 	Cache *trace.Cache
+	// Progress, when non-nil, receives live sweep updates at job boundaries
+	// (for the -status-addr endpoint). It never affects results.
+	Progress *Progress
 }
 
 // workers resolves the effective pool size.
@@ -106,9 +129,10 @@ func (p Pool) Run(jobs []Job) ([]Result, report.SweepSummary) {
 	start := time.Now()
 	results := make([]Result, len(jobs))
 	n := p.workers()
+	p.Progress.begin(len(jobs))
 	if n <= 1 || len(jobs) <= 1 {
 		for i := range jobs {
-			results[i] = p.runOne(i, jobs[i])
+			results[i] = p.runJob(i, jobs[i])
 		}
 	} else {
 		idx := make(chan int)
@@ -118,7 +142,7 @@ func (p Pool) Run(jobs []Job) ([]Result, report.SweepSummary) {
 			go func() {
 				defer wg.Done()
 				for i := range idx {
-					results[i] = p.runOne(i, jobs[i])
+					results[i] = p.runJob(i, jobs[i])
 				}
 			}()
 		}
@@ -129,6 +153,15 @@ func (p Pool) Run(jobs []Job) ([]Result, report.SweepSummary) {
 		wg.Wait()
 	}
 	return results, p.summarize(results, n, time.Since(start))
+}
+
+// runJob wraps runOne with progress notifications (nil-safe no-ops when the
+// pool has no Progress attached).
+func (p Pool) runJob(i int, j Job) Result {
+	p.Progress.jobStarted(i, j.Name())
+	r := p.runOne(i, j)
+	p.Progress.jobDone(&r)
+	return r
 }
 
 // runOne executes a single job on the calling goroutine.
@@ -173,6 +206,10 @@ func (p Pool) runOne(i int, j Job) Result {
 		res.Trace = obs.New(cfg.Cores, *j.Trace)
 		m.AttachTracer(res.Trace)
 	}
+	if j.Hists {
+		res.Hists = hist.NewSet(cfg.Cores)
+		m.AttachHists(res.Hists)
+	}
 	if err := m.Run(j.DefaultMaxCycles()); err != nil {
 		res.Err = err
 	}
@@ -187,6 +224,9 @@ func (p Pool) summarize(results []Result, workers int, wall time.Duration) repor
 		r := &results[i]
 		if r.Err != nil {
 			s.Failed++
+			if r.TimedOut() {
+				s.TimedOut++
+			}
 		}
 		if r.Stats != nil {
 			s.SimCycles += r.Stats.Cycles

@@ -1,0 +1,236 @@
+package runner
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sesa/internal/hist"
+)
+
+// Progress tracks a live sweep for the -status-addr HTTP endpoint. The pool
+// updates it at job boundaries only — machines are single-threaded and their
+// internal state must not be read mid-run — so a snapshot is always a
+// consistent set of completed-job aggregates plus the names of running jobs.
+// All methods are nil-safe no-ops on a nil receiver and safe for concurrent
+// use.
+type Progress struct {
+	mu       sync.Mutex
+	start    time.Time
+	total    int
+	done     int
+	failed   int
+	timedOut int
+	running  map[int]string
+	insts    uint64
+	cycles   uint64
+	failures []JobFailure
+	merged   *hist.Collector
+	hists    bool
+}
+
+// JobFailure describes one failed job in the status report.
+type JobFailure struct {
+	Index    int    `json:"index"`
+	Name     string `json:"name"`
+	Error    string `json:"error"`
+	TimedOut bool   `json:"timed_out"`
+}
+
+// RunningJob names one in-flight job.
+type RunningJob struct {
+	Index int    `json:"index"`
+	Name  string `json:"name"`
+}
+
+// Snapshot is one consistent view of the sweep, as served at /status.
+type Snapshot struct {
+	TotalJobs int          `json:"total_jobs"`
+	Done      int          `json:"done"`
+	Failed    int          `json:"failed"`
+	TimedOut  int          `json:"timed_out"`
+	Running   []RunningJob `json:"running"`
+	// Insts and Cycles total the retired instructions and simulated cycles
+	// of completed jobs.
+	Insts          uint64  `json:"instructions_retired"`
+	Cycles         uint64  `json:"sim_cycles"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	// ETASeconds extrapolates the remaining time from the mean completed-job
+	// duration; 0 until the first job completes or once the sweep is done.
+	ETASeconds float64      `json:"eta_seconds"`
+	Failures   []JobFailure `json:"failures"`
+}
+
+// NewProgress returns an empty progress tracker to hand to Pool.Progress
+// and ServeStatus.
+func NewProgress() *Progress {
+	return &Progress{running: make(map[int]string), merged: hist.NewCollector()}
+}
+
+// begin resets the tracker for a sweep of n jobs. Sequential sweeps may reuse
+// one tracker; counters accumulate only within a sweep.
+func (p *Progress) begin(n int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.start = time.Now()
+	p.total = n
+	p.done, p.failed, p.timedOut = 0, 0, 0
+	p.insts, p.cycles = 0, 0
+	p.running = make(map[int]string)
+	p.failures = nil
+	p.merged = hist.NewCollector()
+	p.hists = false
+}
+
+// jobStarted records that job i is now running.
+func (p *Progress) jobStarted(i int, name string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.running[i] = name
+}
+
+// jobDone folds a completed job into the aggregates.
+func (p *Progress) jobDone(r *Result) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.running, r.Index)
+	p.done++
+	if r.Err != nil {
+		p.failed++
+		to := r.TimedOut()
+		if to {
+			p.timedOut++
+		}
+		p.failures = append(p.failures, JobFailure{
+			Index: r.Index, Name: r.Job.Name(), Error: r.Err.Error(), TimedOut: to,
+		})
+	}
+	if r.Stats != nil {
+		p.cycles += r.Stats.Cycles
+		p.insts += r.Stats.Total().RetiredInsts
+	}
+	if r.Hists != nil {
+		p.merged.Merge(r.Hists.Merged())
+		p.hists = true
+	}
+}
+
+// Snapshot returns a consistent view of the sweep.
+func (p *Progress) Snapshot() Snapshot {
+	if p == nil {
+		return Snapshot{}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := Snapshot{
+		TotalJobs: p.total,
+		Done:      p.done,
+		Failed:    p.failed,
+		TimedOut:  p.timedOut,
+		Insts:     p.insts,
+		Cycles:    p.cycles,
+		Failures:  append([]JobFailure(nil), p.failures...),
+	}
+	for i, name := range p.running {
+		s.Running = append(s.Running, RunningJob{Index: i, Name: name})
+	}
+	sort.Slice(s.Running, func(a, b int) bool { return s.Running[a].Index < s.Running[b].Index })
+	if !p.start.IsZero() {
+		s.ElapsedSeconds = time.Since(p.start).Seconds()
+	}
+	if p.done > 0 && p.done < p.total {
+		s.ETASeconds = s.ElapsedSeconds / float64(p.done) * float64(p.total-p.done)
+	}
+	return s
+}
+
+// Histograms returns the merged latency histograms of every completed job
+// that recorded any (nil when no job carried histograms yet).
+func (p *Progress) Histograms() *hist.Collector {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.hists {
+		return nil
+	}
+	c := hist.NewCollector()
+	c.Merge(p.merged)
+	return c
+}
+
+// currentProgress is what the expvar callbacks read; expvar publication is
+// process-global and once-only, so the callbacks indirect through this
+// pointer to always report the most recently served sweep.
+var currentProgress atomic.Pointer[Progress]
+
+var publishExpvars = sync.OnceFunc(func() {
+	expvar.Publish("sesa.sweep", expvar.Func(func() any {
+		return currentProgress.Load().Snapshot()
+	}))
+	expvar.Publish("sesa.histograms", expvar.Func(func() any {
+		return currentProgress.Load().Histograms().Summaries()
+	}))
+})
+
+// ServeStatus starts the live-introspection HTTP server on addr and returns
+// the bound address (useful with ":0"). Endpoints:
+//
+//	/status         sweep progress snapshot (JSON)
+//	/histograms     merged latency histograms of completed jobs (JSON)
+//	/debug/vars     expvar counters, including sesa.sweep
+//	/debug/pprof/   runtime profiling
+//
+// The server lives until the process exits; sweeps are short-lived relative
+// to the process, so there is no shutdown plumbing.
+func ServeStatus(addr string, p *Progress) (string, error) {
+	if p == nil {
+		return "", fmt.Errorf("runner: ServeStatus needs a non-nil Progress")
+	}
+	currentProgress.Store(p)
+	publishExpvars()
+
+	mux := http.NewServeMux()
+	writeJSON := func(w http.ResponseWriter, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(v)
+	}
+	mux.HandleFunc("/status", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, p.Snapshot())
+	})
+	mux.HandleFunc("/histograms", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, p.Histograms().Summaries())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("runner: status server: %w", err)
+	}
+	go func() { _ = http.Serve(ln, mux) }()
+	return ln.Addr().String(), nil
+}

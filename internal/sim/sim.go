@@ -7,12 +7,27 @@ import (
 
 	"sesa/internal/config"
 	"sesa/internal/core"
+	"sesa/internal/hist"
 	"sesa/internal/isa"
 	"sesa/internal/mem"
 	"sesa/internal/noc"
 	"sesa/internal/obs"
 	"sesa/internal/stats"
 )
+
+// TimeoutError reports a machine that did not finish within its cycle
+// bound — the liveness check of Section IV-C. Runners detect it with
+// errors.As to classify timed-out jobs apart from other failures.
+type TimeoutError struct {
+	MaxCycles uint64
+	Model     string
+	Workload  string
+}
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("sim: machine did not finish within %d cycles (model %s, workload %s)",
+		e.MaxCycles, e.Model, e.Workload)
+}
 
 // Machine is one simulated multicore.
 type Machine struct {
@@ -24,6 +39,10 @@ type Machine struct {
 
 	// tracer is the observability sink; nil when tracing is disabled.
 	tracer *obs.Tracer
+
+	// hists is the latency-histogram sink; nil when histograms are
+	// disabled.
+	hists *hist.Set
 
 	Stats *stats.Machine
 	cycle uint64
@@ -62,6 +81,23 @@ func (m *Machine) AttachTracer(t *obs.Tracer) {
 
 // Tracer returns the attached observability sink (nil when disabled).
 func (m *Machine) Tracer() *obs.Tracer { return m.tracer }
+
+// AttachHists wires the latency-histogram sinks through the cores, the
+// memory hierarchy and the interconnect. Call before the first Step; nil
+// detaches. Hook sites nil-check their collector, so a machine without
+// histograms pays one never-taken branch per hook.
+func (m *Machine) AttachHists(s *hist.Set) {
+	m.hists = s
+	for i, c := range m.cores {
+		hc := s.Core(i) // nil-safe: nil when s is nil
+		c.AttachHists(hc)
+		m.hier.AttachHists(i, hc)
+	}
+	m.net.AttachHists(s.Net())
+}
+
+// Hists returns the attached histogram set (nil when disabled).
+func (m *Machine) Hists() *hist.Set { return m.hists }
 
 // sampleMetrics records one interval boundary from the live core state.
 func (m *Machine) sampleMetrics(cycle uint64) {
@@ -147,8 +183,9 @@ func (m *Machine) Run(maxCycles uint64) error {
 			// Record how far the machine got: a timed-out run must still
 			// report its cycle count (failure rows would otherwise show 0).
 			m.Stats.Cycles = m.cycle
-			return fmt.Errorf("sim: machine did not finish within %d cycles (model %s, workload %s)",
-				maxCycles, m.cfg.Model, m.Stats.Workload)
+			m.captureNoC()
+			return &TimeoutError{MaxCycles: maxCycles, Model: m.cfg.Model.String(),
+				Workload: m.Stats.Workload}
 		}
 		m.Step()
 	}
@@ -158,9 +195,22 @@ func (m *Machine) Run(maxCycles uint64) error {
 		m.evq.RunUntil(next)
 	}
 	m.Stats.Cycles = m.cycle
+	m.captureNoC()
 	// Close out the metrics series with the final (possibly short) interval.
 	if m.tracer.MetricsInterval() > 0 {
 		m.sampleMetrics(m.cycle)
 	}
 	return nil
+}
+
+// captureNoC copies the interconnect's traffic counters into the stats so
+// reports can show NoC load next to the core counters.
+func (m *Machine) captureNoC() {
+	t := m.net.Traffic
+	m.Stats.NoC = stats.NoCTraffic{
+		ControlMsgs:  t.ControlMsgs,
+		DataMsgs:     t.DataMsgs,
+		ControlFlits: t.ControlFlits,
+		DataFlits:    t.DataFlits,
+	}
 }

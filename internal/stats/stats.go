@@ -119,6 +119,27 @@ func (c *Core) TotalStallPct() float64 {
 	return c.StallPct(StallROB) + c.StallPct(StallLQ) + c.StallPct(StallSQ)
 }
 
+// NoCTraffic is the machine-wide interconnect usage, per message class:
+// control (requests, invalidations, acks) versus data (line transfers).
+type NoCTraffic struct {
+	ControlMsgs  uint64
+	DataMsgs     uint64
+	ControlFlits uint64
+	DataFlits    uint64
+}
+
+// Msgs returns the total message count.
+func (t NoCTraffic) Msgs() uint64 { return t.ControlMsgs + t.DataMsgs }
+
+// Flits returns the total flit count.
+func (t NoCTraffic) Flits() uint64 { return t.ControlFlits + t.DataFlits }
+
+// String renders the traffic as a single report line.
+func (t NoCTraffic) String() string {
+	return fmt.Sprintf("noc: %d msgs (%d control, %d data), %d flits (%d control, %d data)",
+		t.Msgs(), t.ControlMsgs, t.DataMsgs, t.Flits(), t.ControlFlits, t.DataFlits)
+}
+
 // Machine aggregates per-core statistics for one simulation.
 type Machine struct {
 	Model    string
@@ -127,6 +148,9 @@ type Machine struct {
 	// Cycles is the machine execution time: the cycle at which the last
 	// core finished its trace.
 	Cycles uint64
+	// NoC is the interconnect traffic accumulated over the run, captured
+	// from the network when the machine finishes (or times out).
+	NoC NoCTraffic
 }
 
 // New returns a Machine with n per-core slots.

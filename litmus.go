@@ -53,8 +53,12 @@ type LitmusResult = litmus.Result
 // sb+fence, lb, wrc.
 func LitmusTests() []LitmusTest { return litmus.Tests() }
 
-// GetLitmus returns the named litmus test.
+// GetLitmus returns the named litmus test; the error for an unknown name
+// lists every valid one.
 func GetLitmus(name string) (LitmusTest, error) { return litmus.Get(name) }
+
+// LitmusNames returns the suite's test names in presentation order.
+func LitmusNames() []string { return litmus.Names() }
 
 // RunLitmus executes a litmus test on the cycle-accurate simulator iters
 // times with varied timing, collecting the outcome histogram.

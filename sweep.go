@@ -37,6 +37,28 @@ func BenchmarkJob(name string, model Model, instPerCore int, seed uint64) (Sweep
 // A failed job (e.g. a machine exceeding its cycle bound) does not abort the
 // sweep; it is returned with Err set and partial statistics.
 func RunSweep(jobs []SweepJob, workers int) ([]SweepResult, SweepSummary) {
-	pool := runner.Pool{Workers: workers, Cache: trace.Shared()}
+	return RunSweepMonitored(jobs, workers, nil)
+}
+
+// SweepProgress tracks a live sweep for the -status-addr endpoint: jobs
+// done/running/failed, retired instructions, ETA, and merged histograms.
+type SweepProgress = runner.Progress
+
+// NewSweepProgress returns an empty tracker to pass to RunSweepMonitored and
+// ServeStatus.
+func NewSweepProgress() *SweepProgress { return runner.NewProgress() }
+
+// ServeStatus starts the live-introspection HTTP server on addr and returns
+// the bound address. It serves /status and /histograms as JSON plus
+// /debug/vars (expvar) and /debug/pprof.
+func ServeStatus(addr string, p *SweepProgress) (string, error) {
+	return runner.ServeStatus(addr, p)
+}
+
+// RunSweepMonitored is RunSweep with live progress reporting: the tracker is
+// updated at job boundaries and never affects results (nil is allowed and
+// reproduces RunSweep).
+func RunSweepMonitored(jobs []SweepJob, workers int, p *SweepProgress) ([]SweepResult, SweepSummary) {
+	pool := runner.Pool{Workers: workers, Cache: trace.Shared(), Progress: p}
 	return pool.Run(jobs)
 }
