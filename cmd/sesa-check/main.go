@@ -31,7 +31,13 @@ var modelPairs = []modelPair{
 
 func main() {
 	testName := flag.String("test", "", "litmus test name or comma-separated list (default: all)")
+	stepModeName := flag.String("step-mode", "skip", "accepted for CLI uniformity with the simulator binaries; the exhaustive checker is untimed, so the value has no effect")
 	flag.Parse()
+
+	if _, err := sesa.ParseStepMode(*stepModeName); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	if err := run(os.Stdout, *testName); err != nil {
 		fmt.Fprintln(os.Stderr, err)

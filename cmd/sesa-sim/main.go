@@ -37,8 +37,15 @@ func main() {
 	histOut := flag.String("hist-out", "", "write latency-distribution histograms to this file (empty with -hist-format set = stdout)")
 	histFormat := flag.String("hist-format", "", "histogram format, text or json; setting it (or -hist-out) enables histogram collection")
 	statusAddr := flag.String("status-addr", "", "serve live sweep status, expvar and pprof on this address (e.g. localhost:6060)")
+	stepModeName := flag.String("step-mode", "skip", "clock stepper: skip (two-level, default) or naive (tick every cycle); outputs are byte-identical")
 	flag.Parse()
 	wantHists := *histOut != "" || *histFormat != ""
+
+	stepMode, err := sesa.ParseStepMode(*stepModeName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	if *traceOut != "" && *traceFormat != "chrome" && *traceFormat != "kanata" {
 		fmt.Fprintf(os.Stderr, "unknown -trace-format %q (want %s)\n", *traceFormat, sesa.ValidTraceFormats)
@@ -143,6 +150,7 @@ func main() {
 			}
 			j.Trace = traceOpts
 			j.Hists = wantHists
+			j.StepMode = stepMode
 			js[i] = j
 		}
 		var summary sesa.SweepSummary
@@ -163,6 +171,7 @@ func main() {
 		var err error
 		if replay != nil {
 			cfg := sesa.DefaultConfig(model)
+			cfg.StepMode = stepMode
 			if len(replay) > cfg.Cores {
 				cfg.Cores = len(replay)
 			}

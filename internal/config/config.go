@@ -65,6 +65,44 @@ func AllModels() []Model {
 	return []Model{X86, NoSpec370, SLFSpec370, SLFSoS370, SLFSoSKey370}
 }
 
+// StepMode selects how the machine advances its simulation clock.
+type StepMode int
+
+const (
+	// StepSkip is the default two-level clock: when every core reports a
+	// quiescent cycle the machine jumps straight to the next pending
+	// event or core wake cycle, bulk-accounting the skipped range. Its
+	// observable outputs (stats, traces, histograms, interval metrics)
+	// are byte-identical to StepNaive.
+	StepSkip StepMode = iota
+	// StepNaive ticks every core on every cycle — the reference stepper
+	// the skip path is validated against.
+	StepNaive
+)
+
+var stepModeNames = [...]string{
+	StepSkip:  "skip",
+	StepNaive: "naive",
+}
+
+// String returns the -step-mode flag spelling of the mode.
+func (m StepMode) String() string {
+	if int(m) >= 0 && int(m) < len(stepModeNames) {
+		return stepModeNames[m]
+	}
+	return fmt.Sprintf("step-mode(%d)", int(m))
+}
+
+// ParseStepMode parses a -step-mode flag value.
+func ParseStepMode(s string) (StepMode, error) {
+	for m, name := range stepModeNames {
+		if s == name {
+			return StepMode(m), nil
+		}
+	}
+	return 0, fmt.Errorf("config: unknown step mode %q (want skip or naive)", s)
+}
+
 // Core holds the out-of-order core parameters (Table III, top).
 type Core struct {
 	// Width is the dispatch and retire width in instructions per cycle.
@@ -148,6 +186,8 @@ type Config struct {
 	// it. Litmus witness search uses it to explore interleavings.
 	Jitter     int
 	JitterSeed uint64
+	// StepMode selects the clock stepper; the zero value is StepSkip.
+	StepMode StepMode
 }
 
 // Skylake returns the Table III configuration with the given core count and
@@ -238,6 +278,9 @@ func (c Config) Validate() error {
 	}
 	if c.Jitter < 0 {
 		return fmt.Errorf("config: jitter must be non-negative, got %d", c.Jitter)
+	}
+	if c.StepMode != StepSkip && c.StepMode != StepNaive {
+		return fmt.Errorf("config: unknown step mode %d", int(c.StepMode))
 	}
 	return nil
 }

@@ -7,9 +7,9 @@ import (
 	"sesa/internal/hist"
 	"sesa/internal/isa"
 	"sesa/internal/mem"
-	"sesa/internal/noc"
 	"sesa/internal/obs"
 	"sesa/internal/predictor"
+	"sesa/internal/sched"
 	"sesa/internal/stats"
 )
 
@@ -24,7 +24,6 @@ type Core struct {
 	cfg   config.Core
 	model config.Model
 	hier  *mem.Hierarchy
-	evq   *noc.EventQueue
 	st    *stats.Core
 
 	bp *predictor.TAGE
@@ -70,18 +69,35 @@ type Core struct {
 	// the episode the GateClosed histogram measures.
 	gateClosedAt uint64
 
+	// progressed flags any state mutation during the current Tick beyond
+	// the per-cycle counter deltas recorded in delta; it is what Tick's
+	// quiescence report is built from.
+	progressed bool
+	delta      tickDelta
+
 	done bool
+}
+
+// tickDelta records the per-cycle counter increments of the tick just
+// executed. A tick that made no progress will repeat exactly these
+// increments every following cycle until an event fires or a timed wake
+// arrives, so the machine can bulk-apply them over a skipped range with
+// SkipCycles instead of re-executing the dead ticks.
+type tickDelta struct {
+	gateClosed uint64 // 0/1: the retire gate was closed this cycle
+	gateStall  uint64 // 0/1: a done load at the ROB head was held back this cycle
+	stall      int8   // dispatch stall cause this cycle (-1 when none)
+	sqSearches uint64 // SQ searches by loads re-polling a matched store's data
 }
 
 // New builds a core. The invalidation listener is registered with the
 // hierarchy so that remote invalidations and local evictions snoop the LQ.
-func New(id int, cfg config.Config, hier *mem.Hierarchy, evq *noc.EventQueue, st *stats.Core) *Core {
+func New(id int, cfg config.Config, hier *mem.Hierarchy, st *stats.Core) *Core {
 	c := &Core{
 		id:       id,
 		cfg:      cfg.Core,
 		model:    cfg.Model,
 		hier:     hier,
-		evq:      evq,
 		st:       st,
 		bp:       predictor.NewTAGE(),
 		ss:       predictor.NewStoreSet(),
@@ -132,14 +148,22 @@ func (c *Core) Occupancy() (rob, lq, sb int) { return len(c.rob), len(c.lq), c.s
 // obsKey encodes a store key for an event payload.
 func obsKey(k key) int32 { return obs.EncodeKey(k.slot, k.sort) }
 
-// Tick advances the core one cycle.
-func (c *Core) Tick(now uint64) {
+// Tick advances the core one cycle and returns its quiescence report:
+// progressed is true when any state beyond the per-cycle counter deltas
+// changed, and wake is the earliest future cycle at which the core can next
+// do timed work (sched.Never when it is purely event-blocked). A quiescent
+// core's following ticks are exact replays until that wake cycle or an
+// event, which is what lets the machine skip them with SkipCycles.
+func (c *Core) Tick(now uint64) (progressed bool, wake uint64) {
 	if c.done {
-		return
+		return false, sched.Never
 	}
+	c.progressed = false
+	c.delta = tickDelta{stall: -1}
 	c.st.Cycles++
 	if c.gate.Closed() {
 		c.st.GateClosedCycles++
+		c.delta.gateClosed = 1
 	}
 	c.retire(now)
 	c.drainSB(now)
@@ -147,7 +171,52 @@ func (c *Core) Tick(now uint64) {
 	c.dispatch(now)
 	if c.fetchIdx >= len(c.prog) && len(c.rob) == 0 && c.sq.empty() {
 		c.done = true
+		c.progressed = true
 	}
+	if c.progressed {
+		return true, now + 1
+	}
+	return false, c.wakeCycle(now)
+}
+
+// SkipCycles bulk-applies n quiescent cycles: the per-cycle counter deltas
+// recorded by the last Tick, n times. The machine calls it only after a
+// fully quiescent Step and only for ranges that end before the next event
+// or wake cycle, where each skipped tick is provably a replay of the last.
+func (c *Core) SkipCycles(n uint64) {
+	if c.done || n == 0 {
+		return
+	}
+	c.st.Cycles += n
+	c.st.GateClosedCycles += c.delta.gateClosed * n
+	c.st.GateStallCycles += c.delta.gateStall * n
+	if c.delta.stall >= 0 {
+		c.st.StallCycles[c.delta.stall] += n
+	}
+	c.st.SQSearches += c.delta.sqSearches * n
+}
+
+// wakeCycle reports the earliest future cycle at which this (quiescent)
+// core can make progress — or change its per-cycle counter deltas —
+// without a memory-system event: the pipeline-depth window of the ROB
+// head, a running execution latency, or the end of a front-end redirect
+// window. Everything else the core can wait on arrives as an event.
+func (c *Core) wakeCycle(now uint64) uint64 {
+	w := uint64(sched.Never)
+	if len(c.rob) > 0 {
+		if e := c.rob[0]; e.status == stDone && now < e.minRetire {
+			w = e.minRetire
+		}
+	}
+	for _, e := range c.rob {
+		if e.alive && e.status == stIssued && !e.inflight && e.execDone > now && e.execDone < w {
+			w = e.execDone
+		}
+	}
+	if c.fetchIdx < len(c.prog) && c.haltBranch == nil && now < c.redirectUntil && c.redirectUntil < w {
+		w = c.redirectUntil
+	}
+	return w
 }
 
 // ---- retire -----------------------------------------------------------------
@@ -177,8 +246,10 @@ func (c *Core) loadRetireBlocked(e *entry, now uint64) bool {
 			if !e.gateStalled {
 				e.gateStalled = true
 				c.st.GateStalls++
+				c.progressed = true
 			}
 			c.st.GateStallCycles++
+			c.delta.gateStall = 1
 			return true
 		}
 	case config.SLFSpec370:
@@ -188,8 +259,10 @@ func (c *Core) loadRetireBlocked(e *entry, now uint64) bool {
 			if !e.gateStalled {
 				e.gateStalled = true
 				c.st.SLFSpecRetWaits++
+				c.progressed = true
 			}
 			c.st.GateStallCycles++
+			c.delta.gateStall = 1
 			return true
 		}
 	}
@@ -197,6 +270,7 @@ func (c *Core) loadRetireBlocked(e *entry, now uint64) bool {
 }
 
 func (c *Core) doRetire(e *entry, now uint64) {
+	c.progressed = true
 	e.status = stRetired
 	c.rob = c.rob[1:]
 	c.st.RetiredInsts++
@@ -281,6 +355,7 @@ func (c *Core) drainSB(now uint64) {
 			return
 		}
 		e.draining = true
+		c.progressed = true
 		c.drainInflight++
 		st := e
 		if st.inst.Op != isa.OpStore {
@@ -356,6 +431,7 @@ func (c *Core) issue(now uint64) {
 				continue
 			}
 			if c.tryIssue(e, now) {
+				c.progressed = true
 				budget--
 				if c.tr != nil {
 					c.tr.Record(obs.Event{Cycle: now, Kind: obs.KIssue, Op: e.inst.Op,
@@ -374,6 +450,7 @@ func (c *Core) issue(now uint64) {
 // complete finishes a locally executing instruction (ALU, branch, or a
 // forwarded load whose latency elapsed).
 func (c *Core) complete(e *entry, now uint64) {
+	c.progressed = true
 	switch e.inst.Op {
 	case isa.OpALU:
 		e.val = e.srcVal(1) + e.srcVal(2) + e.inst.Imm
@@ -465,6 +542,7 @@ func (c *Core) tryIssue(e *entry, now uint64) bool {
 func (c *Core) tryIssueStore(e *entry, now uint64) bool {
 	if !e.addrResolved && e.addrKnown() {
 		e.addrResolved = true
+		c.progressed = true
 		c.checkDependenceViolation(e, now)
 		// Read-for-ownership prefetch: acquire M early so the SB drain
 		// hits in the L1.
@@ -554,10 +632,12 @@ func (c *Core) tryIssueLoad(e *entry, now uint64) bool {
 			return false
 		}
 		e.waitAddr = nil
+		c.progressed = true
 		// fall through and re-disambiguate
 	}
 
 	c.st.SQSearches++
+	c.delta.sqSearches++
 	match, unknown := c.sq.youngestOlderMatch(e)
 
 	if c.model == config.NoSpec370 {
@@ -565,10 +645,12 @@ func (c *Core) tryIssueLoad(e *entry, now uint64) bool {
 		// match, wait for that store's L1 write (IBM 370, Section II-C).
 		if unknown != nil {
 			e.waitAddr = unknown
+			c.progressed = true
 			return false
 		}
 		if match != nil {
 			e.waitStore = match
+			c.progressed = true
 			if !e.noSpecWaited {
 				e.noSpecWaited = true
 				c.st.NoSpecWaits++
@@ -581,6 +663,7 @@ func (c *Core) tryIssueLoad(e *entry, now uint64) bool {
 
 	if unknown != nil && c.ss.PredictDependent(e.inst.PC, unknown.inst.PC) {
 		e.waitAddr = unknown
+		c.progressed = true
 		return false
 	}
 	if match != nil {
@@ -588,6 +671,7 @@ func (c *Core) tryIssueLoad(e *entry, now uint64) bool {
 			// Partial overlap: cannot forward; wait for the store's
 			// L1 write, as conventional cores do.
 			e.waitStore = match
+			c.progressed = true
 			return false
 		}
 		if !match.dataKnown() {
@@ -653,18 +737,21 @@ func (c *Core) dispatch(now uint64) {
 		if len(c.rob) >= c.cfg.ROBEntries {
 			if n == 0 {
 				c.st.StallCycles[stats.StallROB]++
+				c.delta.stall = int8(stats.StallROB)
 			}
 			return
 		}
 		if in.Op == isa.OpLoad && len(c.lq) >= c.cfg.LQEntries {
 			if n == 0 {
 				c.st.StallCycles[stats.StallLQ]++
+				c.delta.stall = int8(stats.StallLQ)
 			}
 			return
 		}
 		if in.Op == isa.OpStore && c.sq.full() {
 			if n == 0 {
 				c.st.StallCycles[stats.StallSQ]++
+				c.delta.stall = int8(stats.StallSQ)
 			}
 			return
 		}
@@ -673,6 +760,7 @@ func (c *Core) dispatch(now uint64) {
 }
 
 func (c *Core) dispatchOne(in isa.Inst, now uint64) {
+	c.progressed = true
 	c.dynSeq++
 	e := &entry{
 		inst:      in,

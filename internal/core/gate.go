@@ -16,6 +16,12 @@ type key struct {
 // of the store's key; the store reopens the gate when it writes to the L1.
 // The invariant is that exactly one store in the SB matches the key and
 // exactly one (already retired) load closed the gate.
+//
+// The gate never changes state as a function of elapsed cycles: it closes
+// only inside a retiring tick (progress) and reopens only inside a store's
+// L1-write event callback. The two-level clock relies on this — a closed
+// gate stays closed across any skipped quiescent range, so the per-cycle
+// gate-closed accounting can be bulk-applied.
 type Gate struct {
 	closed bool
 	// keyed is true when the gate was locked with a key (SLFSoS-key);

@@ -111,6 +111,7 @@ func (c *Core) loadSpeculative(i int, e *entry) (mspec, sa bool) {
 // or load-load misspeculation); memory-dependence squashes are counted
 // separately.
 func (c *Core) squashFrom(from *entry, now uint64, countReexec, saOnly bool, cause obs.Cause, addr uint64) {
+	c.progressed = true
 	pos := -1
 	for i, e := range c.rob {
 		if e == from {

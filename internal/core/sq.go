@@ -5,6 +5,11 @@ package core
 // entry's status (Section II-A). A store occupies its slot from dispatch
 // until its L1 write completes; the sorting bit per slot flips on
 // wrap-around so that a (slot, sorting-bit) key uniquely names a live store.
+//
+// Occupancy changes only at dispatch (alloc), squash (rollback) — both
+// progress in the owning tick — or a store's L1-write event callback
+// (free). Predicates like anyOlderUnwritten are therefore constant across
+// a skipped quiescent range, which the two-level clock depends on.
 type storeQueue struct {
 	slots []*entry
 	sort  []bool

@@ -1,0 +1,51 @@
+package litmus
+
+import (
+	"reflect"
+	"testing"
+
+	"sesa/internal/config"
+	"sesa/internal/sim"
+	"sesa/internal/stats"
+)
+
+// runStepped runs one litmus test and model under the given step mode and
+// returns the outcome histogram plus every iteration's machine statistics.
+func runStepped(t *testing.T, test Test, model config.Model, mode config.StepMode) (*Result, []*stats.Machine) {
+	t.Helper()
+	var sts []*stats.Machine
+	res, err := RunTraced(test, model, 4, 7, func(_ int, m *sim.Machine) {
+		m.SetStepMode(mode)
+		sts = append(sts, m.Stats)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, sts
+}
+
+// TestStepModesAgreeOnLitmusSuite is the two-level clock's equivalence
+// contract on the litmus suite: for every test and model, with and without
+// store-buffer pressure, the skip clock must reproduce the naive stepper's
+// outcomes and every per-iteration statistic exactly.
+func TestStepModesAgreeOnLitmusSuite(t *testing.T) {
+	for _, base := range Tests() {
+		for _, test := range []Test{base, WithSBPressure(base, 3)} {
+			for _, model := range config.AllModels() {
+				t.Run(test.Name+"/"+model.String(), func(t *testing.T) {
+					naiveRes, naiveSts := runStepped(t, test, model, config.StepNaive)
+					skipRes, skipSts := runStepped(t, test, model, config.StepSkip)
+					if !reflect.DeepEqual(naiveRes.Outcomes, skipRes.Outcomes) {
+						t.Errorf("outcomes differ:\nnaive: %v\nskip:  %v", naiveRes.Outcomes, skipRes.Outcomes)
+					}
+					for i := range naiveSts {
+						if !reflect.DeepEqual(naiveSts[i], skipSts[i]) {
+							t.Errorf("iteration %d statistics differ:\nnaive: %+v\nskip:  %+v",
+								i, naiveSts[i], skipSts[i])
+						}
+					}
+				})
+			}
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"sesa/internal/config"
 	"sesa/internal/noc"
+	"sesa/internal/sched"
 )
 
 // TestOwnerForwarding: core 0 owns a dirty line; core 1's load is serviced
@@ -80,7 +81,7 @@ func TestDirectoryEvictionBackInvalidates(t *testing.T) {
 	cfg := config.Skylake(2, config.X86)
 	cfg.Mem.DirectoryCoverage = 0.01 // tiny sparse directory
 	cfg.Mem.StridePrefetch = false
-	evq := noc.NewEventQueue()
+	evq := sched.NewEventQueue()
 	h := NewHierarchy(2, cfg.Mem, noc.New(cfg.NoC, 0, 1), evq)
 
 	victim := false

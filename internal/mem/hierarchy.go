@@ -5,6 +5,7 @@ import (
 	"sesa/internal/hist"
 	"sesa/internal/noc"
 	"sesa/internal/obs"
+	"sesa/internal/sched"
 )
 
 // Stats accumulates memory-hierarchy counters.
@@ -45,7 +46,7 @@ type Hierarchy struct {
 	cfg   config.Memory
 	cores int
 	net   *noc.Network
-	evq   *noc.EventQueue
+	evq   *sched.EventQueue
 
 	l1  []*Array
 	l2  []*Array
@@ -83,7 +84,7 @@ type strideState struct {
 }
 
 // NewHierarchy builds the memory system for the given core count.
-func NewHierarchy(cores int, cfg config.Memory, net *noc.Network, evq *noc.EventQueue) *Hierarchy {
+func NewHierarchy(cores int, cfg config.Memory, net *noc.Network, evq *sched.EventQueue) *Hierarchy {
 	h := &Hierarchy{
 		cfg:       cfg,
 		cores:     cores,

@@ -6,6 +6,7 @@ import (
 
 	"sesa/internal/config"
 	"sesa/internal/noc"
+	"sesa/internal/sched"
 )
 
 func testCache() config.Cache {
@@ -129,14 +130,14 @@ func TestDirectoryVictimSkipsBusyLines(t *testing.T) {
 	}
 }
 
-func newTestHierarchy(cores int) (*Hierarchy, *noc.EventQueue) {
+func newTestHierarchy(cores int) (*Hierarchy, *sched.EventQueue) {
 	cfg := config.Skylake(cores, config.X86)
-	evq := noc.NewEventQueue()
+	evq := sched.NewEventQueue()
 	net := noc.New(cfg.NoC, 0, 1)
 	return NewHierarchy(cores, cfg.Mem, net, evq), evq
 }
 
-func runUntil(evq *noc.EventQueue, cycle uint64) {
+func runUntil(evq *sched.EventQueue, cycle uint64) {
 	evq.RunUntil(cycle)
 }
 

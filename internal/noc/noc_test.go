@@ -2,7 +2,6 @@ package noc
 
 import (
 	"testing"
-	"testing/quick"
 
 	"sesa/internal/config"
 )
@@ -59,70 +58,5 @@ func TestJitterDeterministicAndBounded(t *testing.T) {
 	}
 	if !diff {
 		t.Error("different seeds should give different delays")
-	}
-}
-
-func TestEventQueueOrdering(t *testing.T) {
-	q := NewEventQueue()
-	var order []int
-	q.Schedule(10, func() { order = append(order, 2) })
-	q.Schedule(5, func() { order = append(order, 1) })
-	q.Schedule(10, func() { order = append(order, 3) }) // same cycle: FIFO
-	q.Schedule(20, func() { order = append(order, 4) })
-	q.RunUntil(10)
-	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
-		t.Fatalf("order = %v", order)
-	}
-	if q.Len() != 1 {
-		t.Fatalf("pending = %d, want 1", q.Len())
-	}
-	next, ok := q.NextCycle()
-	if !ok || next != 20 {
-		t.Fatalf("next = %d ok=%v", next, ok)
-	}
-	q.RunUntil(100)
-	if len(order) != 4 || order[3] != 4 {
-		t.Fatalf("final order = %v", order)
-	}
-}
-
-func TestEventQueueScheduleDuringRun(t *testing.T) {
-	q := NewEventQueue()
-	var fired []int
-	q.Schedule(1, func() {
-		fired = append(fired, 1)
-		q.Schedule(1, func() { fired = append(fired, 2) }) // same cycle, later seq
-		q.Schedule(5, func() { fired = append(fired, 3) })
-	})
-	q.RunUntil(1)
-	if len(fired) != 2 || fired[1] != 2 {
-		t.Fatalf("nested same-cycle event not fired in order: %v", fired)
-	}
-	q.RunUntil(5)
-	if len(fired) != 3 {
-		t.Fatalf("future nested event lost: %v", fired)
-	}
-}
-
-// TestEventQueueMonotonic is a property test: events always fire in
-// non-decreasing cycle order regardless of insertion order.
-func TestEventQueueMonotonic(t *testing.T) {
-	f := func(cycles []uint16) bool {
-		q := NewEventQueue()
-		var fired []uint64
-		for _, c := range cycles {
-			c := uint64(c)
-			q.Schedule(c, func() { fired = append(fired, c) })
-		}
-		q.RunUntil(1 << 20)
-		for i := 1; i < len(fired); i++ {
-			if fired[i] < fired[i-1] {
-				return false
-			}
-		}
-		return len(fired) == len(cycles)
-	}
-	if err := quick.Check(f, nil); err != nil {
-		t.Error(err)
 	}
 }

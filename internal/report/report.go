@@ -152,6 +152,11 @@ type SweepSummary struct {
 	// process-wide counters at the end of the sweep.
 	TraceCacheHits   uint64 `json:"trace_cache_hits"`
 	TraceCacheMisses uint64 `json:"trace_cache_misses"`
+	// CyclesPerSec and InstsPerSec carry the aggregate host-side
+	// throughput into the serialized form (BENCH records, status JSON);
+	// the pool fills them from CyclesPerSecond/InstsPerSecond.
+	CyclesPerSec float64 `json:"cycles_per_second"`
+	InstsPerSec  float64 `json:"insts_per_second"`
 }
 
 // CyclesPerSecond is the sweep's aggregate simulation throughput.

@@ -2,7 +2,6 @@ package runner
 
 import (
 	"bytes"
-	"fmt"
 	"testing"
 
 	"sesa/internal/config"
@@ -33,7 +32,7 @@ func exportAll(t *testing.T, results []Result) ([]byte, []byte) {
 			t.Fatal("job ran without a tracer despite Job.Trace being set")
 		}
 		runs = append(runs, obs.Run{
-			Name:   fmt.Sprintf("x264/%s", r.Job.Model),
+			Name:   r.Job.Name(),
 			Tracer: r.Trace,
 		})
 	}

@@ -44,6 +44,10 @@ type Job struct {
 	// Config optionally overrides the machine configuration (its Model
 	// field is overwritten with Job.Model). Nil uses config.Default(Model).
 	Config *config.Config
+	// StepMode selects the machine's clock stepper; like Model it is
+	// applied over Config. The zero value is the default two-level skip
+	// clock, whose output is byte-identical to naive stepping.
+	StepMode config.StepMode
 	// MaxCycles bounds the run; 0 applies the default bound of
 	// 200*InstPerCore + 2M cycles, the liveness bound the benchmark
 	// harnesses have always used.
@@ -98,6 +102,25 @@ type Result struct {
 func (r *Result) TimedOut() bool {
 	var te *sim.TimeoutError
 	return errors.As(r.Err, &te)
+}
+
+// CyclesPerSecond is the job's host-side simulation throughput: simulated
+// cycles delivered per wall-clock second. Like Wall it is non-deterministic
+// and must stay out of byte-identical table output.
+func (r *Result) CyclesPerSecond() float64 {
+	if r.Stats == nil || r.Wall <= 0 {
+		return 0
+	}
+	return float64(r.Stats.Cycles) / r.Wall.Seconds()
+}
+
+// InstsPerSecond is the job's retired-instruction throughput per wall-clock
+// second.
+func (r *Result) InstsPerSecond() float64 {
+	if r.Stats == nil || r.Wall <= 0 {
+		return 0
+	}
+	return float64(r.Stats.Total().RetiredInsts) / r.Wall.Seconds()
 }
 
 // Pool runs sweeps.
@@ -177,6 +200,7 @@ func (p Pool) runOne(i int, j Job) Result {
 		cfg = config.Default(j.Model)
 	}
 	cfg.Model = j.Model
+	cfg.StepMode = j.StepMode
 
 	var w trace.Workload
 	if p.Cache != nil {
@@ -236,5 +260,7 @@ func (p Pool) summarize(results []Result, workers int, wall time.Duration) repor
 	if p.Cache != nil {
 		s.TraceCacheHits, s.TraceCacheMisses = p.Cache.Stats()
 	}
+	s.CyclesPerSec = s.CyclesPerSecond()
+	s.InstsPerSec = s.InstsPerSecond()
 	return s
 }

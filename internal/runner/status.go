@@ -32,8 +32,18 @@ type Progress struct {
 	insts    uint64
 	cycles   uint64
 	failures []JobFailure
+	rates    []JobThroughput
 	merged   *hist.Collector
 	hists    bool
+}
+
+// JobThroughput is one completed job's host-side simulation throughput.
+type JobThroughput struct {
+	Index           int     `json:"index"`
+	Name            string  `json:"name"`
+	WallSeconds     float64 `json:"wall_seconds"`
+	CyclesPerSecond float64 `json:"cycles_per_second"`
+	InstsPerSecond  float64 `json:"insts_per_second"`
 }
 
 // JobFailure describes one failed job in the status report.
@@ -66,6 +76,13 @@ type Snapshot struct {
 	// duration; 0 until the first job completes or once the sweep is done.
 	ETASeconds float64      `json:"eta_seconds"`
 	Failures   []JobFailure `json:"failures"`
+	// CyclesPerSecond and InstsPerSecond are the sweep-aggregate host-side
+	// throughput so far: completed jobs' simulated work over the elapsed
+	// wall-clock time.
+	CyclesPerSecond float64 `json:"cycles_per_second"`
+	InstsPerSecond  float64 `json:"insts_per_second"`
+	// Jobs lists each completed job's individual throughput, in job order.
+	Jobs []JobThroughput `json:"job_throughput,omitempty"`
 }
 
 // NewProgress returns an empty progress tracker to hand to Pool.Progress
@@ -88,6 +105,7 @@ func (p *Progress) begin(n int) {
 	p.insts, p.cycles = 0, 0
 	p.running = make(map[int]string)
 	p.failures = nil
+	p.rates = nil
 	p.merged = hist.NewCollector()
 	p.hists = false
 }
@@ -125,6 +143,13 @@ func (p *Progress) jobDone(r *Result) {
 		p.cycles += r.Stats.Cycles
 		p.insts += r.Stats.Total().RetiredInsts
 	}
+	p.rates = append(p.rates, JobThroughput{
+		Index:           r.Index,
+		Name:            r.Job.Name(),
+		WallSeconds:     r.Wall.Seconds(),
+		CyclesPerSecond: r.CyclesPerSecond(),
+		InstsPerSecond:  r.InstsPerSecond(),
+	})
 	if r.Hists != nil {
 		p.merged.Merge(r.Hists.Merged())
 		p.hists = true
@@ -157,6 +182,12 @@ func (p *Progress) Snapshot() Snapshot {
 	if p.done > 0 && p.done < p.total {
 		s.ETASeconds = s.ElapsedSeconds / float64(p.done) * float64(p.total-p.done)
 	}
+	if s.ElapsedSeconds > 0 {
+		s.CyclesPerSecond = float64(p.cycles) / s.ElapsedSeconds
+		s.InstsPerSecond = float64(p.insts) / s.ElapsedSeconds
+	}
+	s.Jobs = append([]JobThroughput(nil), p.rates...)
+	sort.Slice(s.Jobs, func(a, b int) bool { return s.Jobs[a].Index < s.Jobs[b].Index })
 	return s
 }
 

@@ -1,0 +1,89 @@
+package runner
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"sesa/internal/config"
+	"sesa/internal/obs"
+	"sesa/internal/trace"
+)
+
+// stepJobs builds the step-mode equivalence sweep: a memory-latency-bound
+// sequential profile (long skippable quiescent ranges) and an 8-core parallel
+// profile (frequent cross-core events), two models each, with tracing and
+// histograms attached.
+func stepJobs(t *testing.T, mode config.StepMode) []Job {
+	t.Helper()
+	opts := &obs.Options{BufCap: obs.DefaultBufCap, MetricsInterval: 500}
+	var jobs []Job
+	for _, name := range []string{"505.mcf", "x264"} {
+		p, ok := trace.Lookup(name)
+		if !ok {
+			t.Fatalf("unknown profile %q", name)
+		}
+		for _, m := range []config.Model{config.X86, config.SLFSoSKey370} {
+			jobs = append(jobs, Job{
+				Profile:     p,
+				Model:       m,
+				InstPerCore: 2_000,
+				Seed:        42,
+				Trace:       opts,
+				Hists:       true,
+				StepMode:    mode,
+			})
+		}
+	}
+	return jobs
+}
+
+// TestStepModesIdenticalSweep is the two-level clock's acceptance criterion
+// at the sweep level: a traced, histogrammed sweep produces identical
+// statistics, characterizations, trace files, metrics series and histogram
+// reports under naive and skip stepping.
+func TestStepModesIdenticalSweep(t *testing.T) {
+	cache := trace.NewCache()
+	naive, _ := Pool{Workers: 1, Cache: cache}.Run(stepJobs(t, config.StepNaive))
+	skip, _ := Pool{Workers: 1, Cache: cache}.Run(stepJobs(t, config.StepSkip))
+
+	for i := range naive {
+		if naive[i].Err != nil || skip[i].Err != nil {
+			t.Fatalf("job %d failed: naive=%v skip=%v", i, naive[i].Err, skip[i].Err)
+		}
+		if !reflect.DeepEqual(naive[i].Stats, skip[i].Stats) {
+			t.Errorf("job %d statistics differ:\nnaive: %+v\nskip:  %+v",
+				i, naive[i].Stats, skip[i].Stats)
+		}
+		if naive[i].Char != skip[i].Char {
+			t.Errorf("job %d characterization differs:\nnaive: %+v\nskip:  %+v",
+				i, naive[i].Char, skip[i].Char)
+		}
+	}
+
+	cn, kn := exportAll(t, naive)
+	cs, ks := exportAll(t, skip)
+	if !bytes.Equal(cn, cs) {
+		t.Error("chrome trace differs between naive and skip stepping")
+	}
+	if !bytes.Equal(kn, ks) {
+		t.Error("kanata trace differs between naive and skip stepping")
+	}
+
+	for i := range naive {
+		mn, ms := naive[i].Trace.Metrics(), skip[i].Trace.Metrics()
+		if len(mn.Samples) != len(ms.Samples) {
+			t.Fatalf("job %d: %d vs %d metric samples", i, len(mn.Samples), len(ms.Samples))
+		}
+		for j := range mn.Samples {
+			if mn.Samples[j] != ms.Samples[j] {
+				t.Errorf("job %d sample %d differs: %+v vs %+v", i, j, mn.Samples[j], ms.Samples[j])
+			}
+		}
+	}
+
+	hn, hs := renderHists(t, naive), renderHists(t, skip)
+	if !bytes.Equal(hn, hs) {
+		t.Errorf("histogram report differs between step modes:\n--- naive ---\n%s\n--- skip ---\n%s", hn, hs)
+	}
+}

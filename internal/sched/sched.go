@@ -1,0 +1,138 @@
+// Package sched provides the simulation's two-level clock: a deterministic
+// event queue (the timing spine of the memory system, formerly part of
+// internal/noc) plus a Clock that owns the current cycle and the per-core
+// quiescence wake registrations. Level one is the ordinary cycle-by-cycle
+// tick; level two lets the machine jump the cycle straight to the next
+// pending event or core wake when every core reports it cannot make
+// progress, skipping dead cycles without changing a single simulated one.
+package sched
+
+import "container/heap"
+
+// Never marks a core with no timed wake-up: only a memory-system event can
+// unblock it.
+const Never = ^uint64(0)
+
+// Event is a scheduled callback: at Cycle, Fn runs. Events scheduled for the
+// same cycle fire in insertion order, keeping the simulation deterministic.
+type Event struct {
+	Cycle uint64
+	Fn    func()
+	seq   uint64
+}
+
+// EventQueue is a deterministic min-heap of events ordered by (cycle,
+// insertion sequence). It is the spine of the memory-system timing model.
+type EventQueue struct {
+	h   eventHeap
+	seq uint64
+}
+
+// NewEventQueue returns an empty queue.
+func NewEventQueue() *EventQueue { return &EventQueue{} }
+
+// Schedule enqueues fn to run at the given cycle.
+func (q *EventQueue) Schedule(cycle uint64, fn func()) {
+	q.seq++
+	heap.Push(&q.h, Event{Cycle: cycle, Fn: fn, seq: q.seq})
+}
+
+// Len returns the number of pending events.
+func (q *EventQueue) Len() int { return len(q.h) }
+
+// NextCycle returns the cycle of the earliest pending event; ok is false if
+// the queue is empty.
+func (q *EventQueue) NextCycle() (cycle uint64, ok bool) {
+	if len(q.h) == 0 {
+		return 0, false
+	}
+	return q.h[0].Cycle, true
+}
+
+// RunUntil fires, in order, every event scheduled at or before cycle.
+func (q *EventQueue) RunUntil(cycle uint64) {
+	for len(q.h) > 0 && q.h[0].Cycle <= cycle {
+		ev := heap.Pop(&q.h).(Event)
+		ev.Fn()
+	}
+}
+
+type eventHeap []Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].Cycle != h[j].Cycle {
+		return h[i].Cycle < h[j].Cycle
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(Event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// Clock is the two-level simulation clock: the current cycle, the event
+// heap, and one wake registration per core. The machine refreshes every
+// wake each Step; Horizon is meaningful only right after a fully quiescent
+// Step, when all registrations describe the current cycle's state.
+type Clock struct {
+	EventQueue
+	now   uint64
+	wakes []uint64
+}
+
+// NewClock returns a clock at cycle 0 for the given core count, with every
+// wake registration cleared to Never.
+func NewClock(cores int) *Clock {
+	c := &Clock{wakes: make([]uint64, cores)}
+	for i := range c.wakes {
+		c.wakes[i] = Never
+	}
+	return c
+}
+
+// Now returns the current cycle.
+func (c *Clock) Now() uint64 { return c.now }
+
+// Deliver fires every event scheduled at or before the current cycle.
+func (c *Clock) Deliver() { c.RunUntil(c.now) }
+
+// Tick advances the clock one cycle.
+func (c *Clock) Tick() { c.now++ }
+
+// SetWake records core i's quiescence report: the earliest future cycle at
+// which it can do timed work, or Never when it is purely event-blocked.
+func (c *Clock) SetWake(i int, wake uint64) { c.wakes[i] = wake }
+
+// Horizon returns the earliest cycle in [now, bound] at which anything can
+// happen: the next pending event or the earliest registered core wake.
+// When neither falls before bound it returns bound itself — with every core
+// quiescent the machine may then advance the clock straight there.
+func (c *Clock) Horizon(bound uint64) uint64 {
+	h := bound
+	for _, w := range c.wakes {
+		if w < h {
+			h = w
+		}
+	}
+	if next, ok := c.NextCycle(); ok && next < h {
+		h = next
+	}
+	if h < c.now {
+		h = c.now
+	}
+	return h
+}
+
+// AdvanceTo jumps the clock forward to target; targets at or before the
+// current cycle are ignored.
+func (c *Clock) AdvanceTo(target uint64) {
+	if target > c.now {
+		c.now = target
+	}
+}

@@ -1,0 +1,134 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEventQueueOrdering(t *testing.T) {
+	q := NewEventQueue()
+	var order []int
+	q.Schedule(10, func() { order = append(order, 2) })
+	q.Schedule(5, func() { order = append(order, 1) })
+	q.Schedule(10, func() { order = append(order, 3) }) // same cycle: FIFO
+	q.Schedule(20, func() { order = append(order, 4) })
+	q.RunUntil(10)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if q.Len() != 1 {
+		t.Fatalf("pending = %d, want 1", q.Len())
+	}
+	next, ok := q.NextCycle()
+	if !ok || next != 20 {
+		t.Fatalf("next = %d ok=%v", next, ok)
+	}
+	q.RunUntil(100)
+	if len(order) != 4 || order[3] != 4 {
+		t.Fatalf("final order = %v", order)
+	}
+}
+
+func TestEventQueueScheduleDuringRun(t *testing.T) {
+	q := NewEventQueue()
+	var fired []int
+	q.Schedule(1, func() {
+		fired = append(fired, 1)
+		q.Schedule(1, func() { fired = append(fired, 2) }) // same cycle, later seq
+		q.Schedule(5, func() { fired = append(fired, 3) })
+	})
+	q.RunUntil(1)
+	if len(fired) != 2 || fired[1] != 2 {
+		t.Fatalf("nested same-cycle event not fired in order: %v", fired)
+	}
+	q.RunUntil(5)
+	if len(fired) != 3 {
+		t.Fatalf("future nested event lost: %v", fired)
+	}
+}
+
+// TestEventQueueMonotonic is a property test: events always fire in
+// non-decreasing cycle order regardless of insertion order.
+func TestEventQueueMonotonic(t *testing.T) {
+	f := func(cycles []uint16) bool {
+		q := NewEventQueue()
+		var fired []uint64
+		for _, c := range cycles {
+			c := uint64(c)
+			q.Schedule(c, func() { fired = append(fired, c) })
+		}
+		q.RunUntil(1 << 20)
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == len(cycles)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClockTickAndDeliver(t *testing.T) {
+	c := NewClock(2)
+	if c.Now() != 0 {
+		t.Fatalf("new clock at cycle %d", c.Now())
+	}
+	var fired []uint64
+	c.Schedule(0, func() { fired = append(fired, 0) })
+	c.Schedule(2, func() { fired = append(fired, 2) })
+	c.Deliver() // cycle 0: fires the first event only
+	c.Tick()
+	c.Deliver() // cycle 1: nothing due
+	if len(fired) != 1 || fired[0] != 0 {
+		t.Fatalf("fired = %v, want [0]", fired)
+	}
+	c.Tick()
+	c.Deliver() // cycle 2
+	if len(fired) != 2 || fired[1] != 2 {
+		t.Fatalf("fired = %v, want [0 2]", fired)
+	}
+}
+
+func TestClockHorizon(t *testing.T) {
+	c := NewClock(3)
+	// All wakes Never, no events: horizon is the bound.
+	if h := c.Horizon(100); h != 100 {
+		t.Fatalf("empty horizon = %d, want 100", h)
+	}
+	c.SetWake(0, 40)
+	c.SetWake(1, 25)
+	if h := c.Horizon(100); h != 25 {
+		t.Fatalf("wake horizon = %d, want 25", h)
+	}
+	c.Schedule(17, func() {})
+	if h := c.Horizon(100); h != 17 {
+		t.Fatalf("event horizon = %d, want 17", h)
+	}
+	// The bound clamps everything.
+	if h := c.Horizon(10); h != 10 {
+		t.Fatalf("bounded horizon = %d, want 10", h)
+	}
+	// A horizon never moves behind the clock.
+	c.AdvanceTo(30)
+	if h := c.Horizon(100); h != 30 {
+		t.Fatalf("past horizon = %d, want clamped to now=30", h)
+	}
+}
+
+func TestClockAdvanceTo(t *testing.T) {
+	c := NewClock(1)
+	c.AdvanceTo(10)
+	if c.Now() != 10 {
+		t.Fatalf("now = %d, want 10", c.Now())
+	}
+	c.AdvanceTo(5) // backwards: ignored
+	if c.Now() != 10 {
+		t.Fatalf("now after backwards AdvanceTo = %d, want 10", c.Now())
+	}
+	c.Tick()
+	if c.Now() != 11 {
+		t.Fatalf("now after Tick = %d, want 11", c.Now())
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"sesa/internal/mem"
 	"sesa/internal/noc"
 	"sesa/internal/obs"
+	"sesa/internal/sched"
 	"sesa/internal/stats"
 )
 
@@ -32,10 +33,18 @@ func (e *TimeoutError) Error() string {
 // Machine is one simulated multicore.
 type Machine struct {
 	cfg   config.Config
-	evq   *noc.EventQueue
+	clock *sched.Clock
 	net   *noc.Network
 	hier  *mem.Hierarchy
 	cores []*core.Core
+
+	// stepMode selects naive cycle-by-cycle stepping or the two-level
+	// clock that skips quiescent ranges; both produce byte-identical
+	// observable output.
+	stepMode config.StepMode
+	// quiet records whether the last Step was fully quiescent — the
+	// precondition for skipAhead.
+	quiet bool
 
 	// tracer is the observability sink; nil when tracing is disabled.
 	tracer *obs.Tracer
@@ -45,7 +54,6 @@ type Machine struct {
 	hists *hist.Set
 
 	Stats *stats.Machine
-	cycle uint64
 }
 
 // New builds a machine from the configuration; workload names the run in
@@ -55,18 +63,26 @@ func New(cfg config.Config, workload string) (*Machine, error) {
 		return nil, err
 	}
 	m := &Machine{
-		cfg:   cfg,
-		evq:   noc.NewEventQueue(),
-		net:   noc.New(cfg.NoC, cfg.Jitter, cfg.JitterSeed),
-		Stats: stats.New(cfg.Model.String(), workload, cfg.Cores),
+		cfg:      cfg,
+		clock:    sched.NewClock(cfg.Cores),
+		net:      noc.New(cfg.NoC, cfg.Jitter, cfg.JitterSeed),
+		stepMode: cfg.StepMode,
+		Stats:    stats.New(cfg.Model.String(), workload, cfg.Cores),
 	}
-	m.hier = mem.NewHierarchy(cfg.Cores, cfg.Mem, m.net, m.evq)
+	m.hier = mem.NewHierarchy(cfg.Cores, cfg.Mem, m.net, &m.clock.EventQueue)
 	m.cores = make([]*core.Core, cfg.Cores)
 	for i := 0; i < cfg.Cores; i++ {
-		m.cores[i] = core.New(i, cfg, m.hier, m.evq, &m.Stats.Cores[i])
+		m.cores[i] = core.New(i, cfg, m.hier, &m.Stats.Cores[i])
 	}
 	return m, nil
 }
+
+// SetStepMode overrides the configured clock stepper. Call before Run; the
+// mode only affects how the clock advances, never what it observes.
+func (m *Machine) SetStepMode(mode config.StepMode) { m.stepMode = mode }
+
+// StepMode returns the active clock stepper.
+func (m *Machine) StepMode() config.StepMode { return m.stepMode }
 
 // AttachTracer wires the observability sink through the cores and the
 // memory hierarchy. Call before the first Step; nil detaches.
@@ -149,7 +165,7 @@ func (m *Machine) InitMemory(addr, val uint64) { m.hier.WriteImage(addr, 8, val)
 func (m *Machine) ReadMemory(addr uint64) uint64 { return m.hier.ReadImage(addr, 8) }
 
 // Cycle returns the current cycle.
-func (m *Machine) Cycle() uint64 { return m.cycle }
+func (m *Machine) Cycle() uint64 { return m.clock.Now() }
 
 // Done reports whether every core has finished its trace.
 func (m *Machine) Done() bool {
@@ -162,15 +178,62 @@ func (m *Machine) Done() bool {
 }
 
 // Step advances the machine one cycle: deliver the cycle's memory events,
-// then tick every core in index order (deterministic).
+// then tick every core in index order (deterministic), collecting each
+// core's quiescence report into the clock's wake registrations.
 func (m *Machine) Step() {
-	m.evq.RunUntil(m.cycle)
-	for _, c := range m.cores {
-		c.Tick(m.cycle)
+	now := m.clock.Now()
+	m.clock.Deliver()
+	quiet := true
+	for i, c := range m.cores {
+		progressed, wake := c.Tick(now)
+		quiet = quiet && !progressed
+		m.clock.SetWake(i, wake)
 	}
-	m.cycle++
-	if iv := m.tracer.MetricsInterval(); iv > 0 && m.cycle%iv == 0 {
-		m.sampleMetrics(m.cycle)
+	m.quiet = quiet
+	m.clock.Tick()
+	if iv := m.tracer.MetricsInterval(); iv > 0 && m.clock.Now()%iv == 0 {
+		m.sampleMetrics(m.clock.Now())
+	}
+}
+
+// skipAhead jumps the clock from the current cycle to the two-level clock's
+// horizon — the next pending event or core wake, bounded by bound — after a
+// fully quiescent Step. The skipped ticks are exact replays of the last one
+// (see the quiescence argument in DESIGN.md), so their per-cycle counters
+// are bulk-applied via SkipCycles, and every metrics-interval boundary the
+// jump crosses is sampled exactly where naive stepping would have sampled
+// it. No-op when the last Step made progress.
+func (m *Machine) skipAhead(bound uint64) {
+	cur := m.clock.Now()
+	if !m.quiet || cur >= bound {
+		return
+	}
+	target := m.clock.Horizon(bound)
+	if target <= cur {
+		return
+	}
+	if iv := m.tracer.MetricsInterval(); iv > 0 {
+		for {
+			b := (cur/iv + 1) * iv
+			if b > target {
+				break
+			}
+			m.bulkTick(b - cur)
+			cur = b
+			m.sampleMetrics(b)
+		}
+	}
+	m.bulkTick(target - cur)
+	m.clock.AdvanceTo(target)
+}
+
+// bulkTick applies n skipped quiescent cycles to every core.
+func (m *Machine) bulkTick(n uint64) {
+	if n == 0 {
+		return
+	}
+	for _, c := range m.cores {
+		c.SkipCycles(n)
 	}
 }
 
@@ -178,29 +241,37 @@ func (m *Machine) Step() {
 // error on timeout, which doubles as the liveness check (the no-deadlock
 // argument of Section IV-C).
 func (m *Machine) Run(maxCycles uint64) error {
+	skip := m.stepMode == config.StepSkip
 	for !m.Done() {
-		if m.cycle >= maxCycles {
-			// Record how far the machine got: a timed-out run must still
-			// report its cycle count (failure rows would otherwise show 0).
-			m.Stats.Cycles = m.cycle
-			m.captureNoC()
+		if m.clock.Now() >= maxCycles {
+			m.finish()
 			return &TimeoutError{MaxCycles: maxCycles, Model: m.cfg.Model.String(),
 				Workload: m.Stats.Workload}
 		}
 		m.Step()
+		if skip {
+			m.skipAhead(maxCycles)
+		}
 	}
-	// Drain any residual events (late invalidation deliveries).
-	for m.evq.Len() > 0 {
-		next, _ := m.evq.NextCycle()
-		m.evq.RunUntil(next)
-	}
-	m.Stats.Cycles = m.cycle
-	m.captureNoC()
-	// Close out the metrics series with the final (possibly short) interval.
-	if m.tracer.MetricsInterval() > 0 {
-		m.sampleMetrics(m.cycle)
-	}
+	m.finish()
 	return nil
+}
+
+// finish closes out a run on both the completion and the timeout path:
+// drain residual events (late invalidation deliveries), record how far the
+// machine got, capture the NoC counters, and emit the final (possibly
+// short) metrics interval. A timed-out run therefore reports its cycle
+// count and a complete metrics series just like a finished one.
+func (m *Machine) finish() {
+	for m.clock.Len() > 0 {
+		next, _ := m.clock.NextCycle()
+		m.clock.RunUntil(next)
+	}
+	m.Stats.Cycles = m.clock.Now()
+	m.captureNoC()
+	if m.tracer.MetricsInterval() > 0 {
+		m.sampleMetrics(m.clock.Now())
+	}
 }
 
 // captureNoC copies the interconnect's traffic counters into the stats so

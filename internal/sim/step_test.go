@@ -1,0 +1,70 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"sesa/internal/config"
+	"sesa/internal/obs"
+	"sesa/internal/stats"
+	"sesa/internal/trace"
+)
+
+// runTimedOut runs a workload far past its cycle budget under the given step
+// mode with interval metrics attached, and returns the machine after the
+// timeout path has finished it.
+func runTimedOut(t *testing.T, mode config.StepMode, maxCycles uint64) *Machine {
+	t.Helper()
+	p, _ := trace.Lookup("barnes")
+	cfg := config.Default(config.X86)
+	cfg.StepMode = mode
+	m := newMachine(t, cfg, "barnes")
+	w := trace.Build(p, cfg.Cores, 5_000, 42)
+	for c, prog := range w.Programs {
+		if err := m.SetProgram(c, prog); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.AttachTracer(obs.New(cfg.Cores, obs.Options{MetricsInterval: 64}))
+	err := m.Run(maxCycles)
+	if _, ok := err.(*TimeoutError); !ok {
+		t.Fatalf("Run returned %T (%v), want *TimeoutError", err, err)
+	}
+	return m
+}
+
+// TestStepModesAgreeOnTimeout pins down the timeout exit: both steppers must
+// drain residual events, capture the NoC traffic and emit the closing
+// metrics sample, leaving identical statistics at the cut-off cycle. The
+// bound is deliberately not a multiple of the metrics interval so the
+// closing sample only exists if the finish path emits it.
+func TestStepModesAgreeOnTimeout(t *testing.T) {
+	const maxCycles = 1000 // not a multiple of the 64-cycle interval
+	naive := runTimedOut(t, config.StepNaive, maxCycles)
+	skip := runTimedOut(t, config.StepSkip, maxCycles)
+
+	if naive.Stats.Cycles != maxCycles || skip.Stats.Cycles != maxCycles {
+		t.Errorf("Stats.Cycles = %d (naive), %d (skip), want %d",
+			naive.Stats.Cycles, skip.Stats.Cycles, maxCycles)
+	}
+	if !reflect.DeepEqual(naive.Stats, skip.Stats) {
+		t.Errorf("timed-out statistics differ:\nnaive: %+v\nskip:  %+v", naive.Stats, skip.Stats)
+	}
+	if naive.Stats.NoC == (stats.NoCTraffic{}) {
+		t.Error("timed-out run captured no NoC traffic; finish path must snapshot the network")
+	}
+
+	for _, m := range []*Machine{naive, skip} {
+		samples := m.Tracer().Metrics().Samples
+		if len(samples) == 0 {
+			t.Fatal("no metric samples on the timeout path")
+		}
+		if last := samples[len(samples)-1]; last.Cycle != maxCycles {
+			t.Errorf("final sample at cycle %d, want the closing sample at %d", last.Cycle, maxCycles)
+		}
+	}
+	mn, ms := naive.Tracer().Metrics(), skip.Tracer().Metrics()
+	if !reflect.DeepEqual(mn.Samples, ms.Samples) {
+		t.Error("timeout metrics series differ between step modes")
+	}
+}

@@ -65,6 +65,19 @@ func SkylakeConfig(cores int, m Model) Config { return config.Skylake(cores, m) 
 // experimentation and tests that need to provoke evictions.
 func SmallConfig(cores int, m Model) Config { return config.Small(cores, m) }
 
+// StepMode selects how the machine advances its simulation clock.
+type StepMode = config.StepMode
+
+// The two clock steppers: the default two-level skip clock, and the naive
+// cycle-by-cycle reference it is byte-identical to.
+const (
+	StepSkip  = config.StepSkip
+	StepNaive = config.StepNaive
+)
+
+// ParseStepMode parses a -step-mode flag value ("skip" or "naive").
+func ParseStepMode(s string) (StepMode, error) { return config.ParseStepMode(s) }
+
 // Program is a per-core instruction trace.
 type Program = isa.Program
 
