@@ -1,0 +1,134 @@
+package sesa_test
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateSurface = flag.Bool("update", false, "rewrite testdata/api_surface.golden from the current source")
+
+// TestAPISurfaceLocked guards the package's exported surface: every exported
+// identifier of package sesa (types, funcs, methods, consts, vars) must
+// appear in testdata/api_surface.golden. An unreviewed addition, rename or
+// removal fails this test; after review, regenerate with
+//
+//	go test -run TestAPISurfaceLocked -update .
+func TestAPISurfaceLocked(t *testing.T) {
+	got := strings.Join(apiSurface(t), "\n") + "\n"
+	const golden = "testdata/api_surface.golden"
+	if *updateSurface {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if got != string(want) {
+		t.Errorf("exported API surface changed; review and regenerate with -update.\ndiff:\n%s",
+			surfaceDiff(strings.Split(string(want), "\n"), strings.Split(got, "\n")))
+	}
+}
+
+// apiSurface enumerates the exported identifiers of the root package, one
+// canonical line each.
+func apiSurface(t *testing.T) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["sesa"]
+	if !ok {
+		t.Fatalf("package sesa not found (got %v)", pkgs)
+	}
+
+	var ids []string
+	add := func(kind, name string) {
+		if ast.IsExported(name) {
+			ids = append(ids, kind+" "+name)
+		}
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Recv == nil {
+					add("func", d.Name.Name)
+					continue
+				}
+				recv := recvTypeName(d.Recv.List[0].Type)
+				if ast.IsExported(recv) {
+					add("method", recv+"."+d.Name.Name)
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch sp := spec.(type) {
+					case *ast.TypeSpec:
+						add("type", sp.Name.Name)
+					case *ast.ValueSpec:
+						kind := "var"
+						if d.Tok == token.CONST {
+							kind = "const"
+						}
+						for _, n := range sp.Names {
+							add(kind, n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// recvTypeName unwraps a method receiver type to its base identifier.
+func recvTypeName(e ast.Expr) string {
+	for {
+		switch x := e.(type) {
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr: // generic receiver
+			e = x.X
+		case *ast.Ident:
+			return x.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// surfaceDiff renders the added/removed lines between two sorted line sets.
+func surfaceDiff(want, got []string) string {
+	in := func(set []string, s string) bool {
+		i := sort.SearchStrings(set, s)
+		return i < len(set) && set[i] == s
+	}
+	var b strings.Builder
+	for _, s := range got {
+		if s != "" && !in(want, s) {
+			fmt.Fprintf(&b, "+ %s\n", s)
+		}
+	}
+	for _, s := range want {
+		if s != "" && !in(got, s) {
+			fmt.Fprintf(&b, "- %s\n", s)
+		}
+	}
+	if b.Len() == 0 {
+		return "(ordering only)"
+	}
+	return b.String()
+}

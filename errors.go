@@ -1,0 +1,19 @@
+package sesa
+
+import "sesa/internal/sim"
+
+// TimeoutError reports a machine that did not finish within its cycle bound
+// (the liveness check of Section IV-C). Run, RunWorkload and sweep results
+// surface it; classify with errors.As:
+//
+//	var te *sesa.TimeoutError
+//	if errors.As(err, &te) { ... te.MaxCycles ... }
+//
+// Partial statistics (including Stats.Cycles at the cut) remain readable.
+type TimeoutError = sim.TimeoutError
+
+// CanceledError reports a run cut short by context cancellation
+// (System.RunContext, RunSweepContext, or a DELETEd sesa-serve sweep). It
+// unwraps to the context's cause, so errors.Is(err, context.Canceled)
+// matches, and like TimeoutError it leaves partial statistics readable.
+type CanceledError = sim.CanceledError

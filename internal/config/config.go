@@ -6,7 +6,10 @@
 // connected interconnect.
 package config
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Model selects the consistency-model implementation a core runs.
 type Model int
@@ -63,6 +66,17 @@ func (m Model) Speculative() bool {
 // AllModels lists the five evaluated machines in the paper's order.
 func AllModels() []Model {
 	return []Model{X86, NoSpec370, SLFSpec370, SLFSoS370, SLFSoSKey370}
+}
+
+// ParseModel parses a model name as printed by Model.String ("x86",
+// "370-NoSpec", ...); the error for an unknown name lists every valid one.
+func ParseModel(s string) (Model, error) {
+	for m, name := range modelNames {
+		if s == name {
+			return Model(m), nil
+		}
+	}
+	return 0, fmt.Errorf("config: unknown model %q (want %s)", s, strings.Join(modelNames[:], ", "))
 }
 
 // StepMode selects how the machine advances its simulation clock.

@@ -141,6 +141,9 @@ type SweepSummary struct {
 	// TimedOut is the subset of Failed whose machines exceeded their cycle
 	// bound (the liveness check) rather than failing outright.
 	TimedOut int `json:"timed_out"`
+	// Canceled is the subset of Failed cut short by context cancellation
+	// (a canceled RunSweepContext or a DELETEd sesa-serve sweep).
+	Canceled int `json:"canceled"`
 	Workers  int `json:"workers"`
 	// WallSeconds is the end-to-end sweep duration.
 	WallSeconds float64 `json:"wall_seconds"`

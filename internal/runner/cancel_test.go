@@ -1,0 +1,147 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"sesa/internal/config"
+	"sesa/internal/sim"
+	"sesa/internal/trace"
+)
+
+// cancelJobs builds a sweep of identical long-running jobs.
+func cancelJobs(t *testing.T, n, instPerCore int) []Job {
+	t.Helper()
+	p, ok := trace.Lookup("radix")
+	if !ok {
+		t.Fatal("radix profile missing")
+	}
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = Job{Profile: p, Model: config.X86, InstPerCore: instPerCore, Seed: uint64(i + 1)}
+	}
+	return jobs
+}
+
+func TestRunContextCancelFreesWorkers(t *testing.T) {
+	// More jobs than workers, each long enough that the cancel lands while
+	// the first wave runs: the running machines must stop at their next
+	// cancellation poll and the queued jobs must fail without simulating.
+	jobs := cancelJobs(t, 6, 200_000)
+	pool := Pool{Workers: 2, Cache: trace.NewCache(), Progress: NewProgress()}
+	ctx, cancel := context.WithCancel(context.Background())
+	timer := time.AfterFunc(150*time.Millisecond, cancel)
+	defer timer.Stop()
+
+	start := time.Now()
+	results, sum := pool.RunContext(ctx, jobs)
+	wall := time.Since(start)
+	// A full 6-job sweep at n=200k takes tens of seconds; a canceled one must
+	// return as soon as the running machines hit a poll.
+	if wall > 10*time.Second {
+		t.Errorf("canceled sweep took %s; workers were not freed", wall)
+	}
+
+	if len(results) != len(jobs) {
+		t.Fatalf("got %d results, want %d", len(results), len(jobs))
+	}
+	var ran, skipped int
+	for i := range results {
+		r := &results[i]
+		if r.Err == nil {
+			t.Errorf("job %d finished despite cancellation", i)
+			continue
+		}
+		if !r.Canceled() {
+			t.Errorf("job %d: Canceled() = false, err = %v", i, r.Err)
+		}
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Errorf("job %d: errors.Is(context.Canceled) = false, err = %v", i, r.Err)
+		}
+		var ce *sim.CanceledError
+		switch {
+		case errors.As(r.Err, &ce):
+			ran++
+			if r.Stats == nil {
+				t.Errorf("job %d: canceled mid-run but no partial stats", i)
+			}
+		case strings.Contains(r.Err.Error(), "before job ran"):
+			skipped++
+			if r.Stats != nil {
+				t.Errorf("job %d: never ran but has stats", i)
+			}
+		default:
+			t.Errorf("job %d: unexpected error %v", i, r.Err)
+		}
+	}
+	if ran == 0 {
+		t.Error("no job was canceled mid-run; the timer fired too late or too early")
+	}
+	if skipped == 0 {
+		t.Error("no queued job was skipped; sweep too small or cancel too late")
+	}
+	if sum.Failed != len(jobs) || sum.Canceled != len(jobs) {
+		t.Errorf("summary Failed=%d Canceled=%d, want both %d", sum.Failed, sum.Canceled, len(jobs))
+	}
+
+	snap := pool.Progress.Snapshot()
+	if snap.Canceled != len(jobs) {
+		t.Errorf("progress snapshot Canceled = %d, want %d", snap.Canceled, len(jobs))
+	}
+	if snap.Done != len(jobs) {
+		t.Errorf("progress snapshot Done = %d, want %d", snap.Done, len(jobs))
+	}
+}
+
+func TestRunContextPreCanceledSkipsAll(t *testing.T) {
+	jobs := cancelJobs(t, 3, 50_000)
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cause := errors.New("never even started")
+	cancel(cause)
+	pool := Pool{Workers: 2, Cache: trace.NewCache()}
+	start := time.Now()
+	results, sum := pool.RunContext(ctx, jobs)
+	if wall := time.Since(start); wall > 2*time.Second {
+		t.Errorf("pre-canceled sweep took %s", wall)
+	}
+	for i := range results {
+		if !results[i].Canceled() {
+			t.Errorf("job %d: Canceled() = false, err = %v", i, results[i].Err)
+		}
+		if !errors.Is(results[i].Err, cause) {
+			t.Errorf("job %d: cause not wrapped, err = %v", i, results[i].Err)
+		}
+	}
+	if hits, misses := pool.Cache.Stats(); hits != 0 || misses != 0 {
+		t.Errorf("pre-canceled sweep generated traces (hits %d, misses %d)", hits, misses)
+	}
+	if sum.Canceled != len(jobs) {
+		t.Errorf("summary Canceled = %d, want %d", sum.Canceled, len(jobs))
+	}
+}
+
+// TestRunContextBackgroundIdenticalToRun locks in that context plumbing does
+// not perturb sweep results.
+func TestRunContextBackgroundIdenticalToRun(t *testing.T) {
+	jobs := cancelJobs(t, 3, 2000)
+	a, asum := Pool{Workers: 2, Cache: trace.NewCache()}.Run(jobs)
+	b, bsum := Pool{Workers: 2, Cache: trace.NewCache()}.RunContext(context.Background(), jobs)
+	if len(a) != len(b) {
+		t.Fatalf("result counts diverge: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Err != nil || b[i].Err != nil {
+			t.Fatalf("job %d failed: Run %v, RunContext %v", i, a[i].Err, b[i].Err)
+		}
+		if a[i].Char != b[i].Char {
+			t.Errorf("job %d characterization diverges", i)
+		}
+	}
+	if asum.SimCycles != bsum.SimCycles || asum.SimInsts != bsum.SimInsts {
+		t.Errorf("summaries diverge: Run %d/%d, RunContext %d/%d",
+			asum.SimCycles, asum.SimInsts, bsum.SimCycles, bsum.SimInsts)
+	}
+}

@@ -15,6 +15,7 @@
 package runner
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -104,6 +105,14 @@ func (r *Result) TimedOut() bool {
 	return errors.As(r.Err, &te)
 }
 
+// Canceled reports whether the job was cut short (or never started) because
+// the sweep's context was canceled. A canceled result is non-deterministic —
+// the cut lands wherever the host scheduler put it — so result caches must
+// never store one.
+func (r *Result) Canceled() bool {
+	return errors.Is(r.Err, context.Canceled) || errors.Is(r.Err, context.DeadlineExceeded)
+}
+
 // CyclesPerSecond is the job's host-side simulation throughput: simulated
 // cycles delivered per wall-clock second. Like Wall it is non-deterministic
 // and must stay out of byte-identical table output.
@@ -149,13 +158,25 @@ func (p Pool) workers() int {
 // summary. Results are deterministic: result[i] depends only on jobs[i], so
 // any worker count produces identical statistics.
 func (p Pool) Run(jobs []Job) ([]Result, report.SweepSummary) {
+	return p.RunContext(context.Background(), jobs)
+}
+
+// RunContext is Run with cooperative cancellation. When ctx is canceled
+// mid-sweep, every running machine stops at its next cancellation poll
+// (sim.Machine.RunContext) and every job not yet started fails immediately,
+// so the pool's workers are freed within a poll interval rather than
+// finishing the sweep. Canceled jobs come back as Results whose Err wraps
+// the context's cause (Result.Canceled reports them), with partial
+// statistics for machines that were mid-run. An uncanceled context
+// reproduces Run exactly.
+func (p Pool) RunContext(ctx context.Context, jobs []Job) ([]Result, report.SweepSummary) {
 	start := time.Now()
 	results := make([]Result, len(jobs))
 	n := p.workers()
 	p.Progress.begin(len(jobs))
 	if n <= 1 || len(jobs) <= 1 {
 		for i := range jobs {
-			results[i] = p.runJob(i, jobs[i])
+			results[i] = p.runJob(ctx, i, jobs[i])
 		}
 	} else {
 		idx := make(chan int)
@@ -165,7 +186,7 @@ func (p Pool) Run(jobs []Job) ([]Result, report.SweepSummary) {
 			go func() {
 				defer wg.Done()
 				for i := range idx {
-					results[i] = p.runJob(i, jobs[i])
+					results[i] = p.runJob(ctx, i, jobs[i])
 				}
 			}()
 		}
@@ -179,16 +200,27 @@ func (p Pool) Run(jobs []Job) ([]Result, report.SweepSummary) {
 }
 
 // runJob wraps runOne with progress notifications (nil-safe no-ops when the
-// pool has no Progress attached).
-func (p Pool) runJob(i int, j Job) Result {
+// pool has no Progress attached). A job picked up after the sweep's context
+// was canceled fails without building a machine, so a canceled sweep drains
+// its remaining queue in microseconds.
+func (p Pool) runJob(ctx context.Context, i int, j Job) Result {
+	if err := ctx.Err(); err != nil {
+		if cause := context.Cause(ctx); cause != err {
+			err = fmt.Errorf("%w (%w)", err, cause)
+		}
+		r := Result{Job: j, Index: i,
+			Err: fmt.Errorf("runner: sweep canceled before job ran: %w", err)}
+		p.Progress.jobDone(&r)
+		return r
+	}
 	p.Progress.jobStarted(i, j.Name())
-	r := p.runOne(i, j)
+	r := p.runOne(ctx, i, j)
 	p.Progress.jobDone(&r)
 	return r
 }
 
 // runOne executes a single job on the calling goroutine.
-func (p Pool) runOne(i int, j Job) Result {
+func (p Pool) runOne(ctx context.Context, i int, j Job) Result {
 	res := Result{Job: j, Index: i}
 	jobStart := time.Now()
 	defer func() { res.Wall = time.Since(jobStart) }()
@@ -234,7 +266,7 @@ func (p Pool) runOne(i int, j Job) Result {
 		res.Hists = hist.NewSet(cfg.Cores)
 		m.AttachHists(res.Hists)
 	}
-	if err := m.Run(j.DefaultMaxCycles()); err != nil {
+	if err := m.RunContext(ctx, j.DefaultMaxCycles()); err != nil {
 		res.Err = err
 	}
 	res.Char = m.Stats.Characterize()
@@ -250,6 +282,9 @@ func (p Pool) summarize(results []Result, workers int, wall time.Duration) repor
 			s.Failed++
 			if r.TimedOut() {
 				s.TimedOut++
+			}
+			if r.Canceled() {
+				s.Canceled++
 			}
 		}
 		if r.Stats != nil {

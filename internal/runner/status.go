@@ -24,10 +24,12 @@ import (
 type Progress struct {
 	mu       sync.Mutex
 	start    time.Time
+	end      time.Time // set when the last job completes; freezes elapsed
 	total    int
 	done     int
 	failed   int
 	timedOut int
+	canceled int
 	running  map[int]string
 	insts    uint64
 	cycles   uint64
@@ -52,6 +54,7 @@ type JobFailure struct {
 	Name     string `json:"name"`
 	Error    string `json:"error"`
 	TimedOut bool   `json:"timed_out"`
+	Canceled bool   `json:"canceled"`
 }
 
 // RunningJob names one in-flight job.
@@ -66,6 +69,7 @@ type Snapshot struct {
 	Done      int          `json:"done"`
 	Failed    int          `json:"failed"`
 	TimedOut  int          `json:"timed_out"`
+	Canceled  int          `json:"canceled"`
 	Running   []RunningJob `json:"running"`
 	// Insts and Cycles total the retired instructions and simulated cycles
 	// of completed jobs.
@@ -100,8 +104,9 @@ func (p *Progress) begin(n int) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.start = time.Now()
+	p.end = time.Time{}
 	p.total = n
-	p.done, p.failed, p.timedOut = 0, 0, 0
+	p.done, p.failed, p.timedOut, p.canceled = 0, 0, 0, 0
 	p.insts, p.cycles = 0, 0
 	p.running = make(map[int]string)
 	p.failures = nil
@@ -129,14 +134,22 @@ func (p *Progress) jobDone(r *Result) {
 	defer p.mu.Unlock()
 	delete(p.running, r.Index)
 	p.done++
+	if p.done >= p.total {
+		// Freeze elapsed time: a daemon keeps the tracker around long after
+		// the sweep finished, and its elapsed must not keep growing.
+		p.end = time.Now()
+	}
 	if r.Err != nil {
 		p.failed++
-		to := r.TimedOut()
+		to, ca := r.TimedOut(), r.Canceled()
 		if to {
 			p.timedOut++
 		}
+		if ca {
+			p.canceled++
+		}
 		p.failures = append(p.failures, JobFailure{
-			Index: r.Index, Name: r.Job.Name(), Error: r.Err.Error(), TimedOut: to,
+			Index: r.Index, Name: r.Job.Name(), Error: r.Err.Error(), TimedOut: to, Canceled: ca,
 		})
 	}
 	if r.Stats != nil {
@@ -168,6 +181,7 @@ func (p *Progress) Snapshot() Snapshot {
 		Done:      p.done,
 		Failed:    p.failed,
 		TimedOut:  p.timedOut,
+		Canceled:  p.canceled,
 		Insts:     p.insts,
 		Cycles:    p.cycles,
 		Failures:  append([]JobFailure(nil), p.failures...),
@@ -177,7 +191,11 @@ func (p *Progress) Snapshot() Snapshot {
 	}
 	sort.Slice(s.Running, func(a, b int) bool { return s.Running[a].Index < s.Running[b].Index })
 	if !p.start.IsZero() {
-		s.ElapsedSeconds = time.Since(p.start).Seconds()
+		if !p.end.IsZero() {
+			s.ElapsedSeconds = p.end.Sub(p.start).Seconds()
+		} else {
+			s.ElapsedSeconds = time.Since(p.start).Seconds()
+		}
 	}
 	if p.done > 0 && p.done < p.total {
 		s.ETASeconds = s.ElapsedSeconds / float64(p.done) * float64(p.total-p.done)
@@ -207,35 +225,46 @@ func (p *Progress) Histograms() *hist.Collector {
 	return c
 }
 
-// currentProgress is what the expvar callbacks read; expvar publication is
+// statusSource is what the expvar callbacks read; expvar publication is
 // process-global and once-only, so the callbacks indirect through this
-// pointer to always report the most recently served sweep.
-var currentProgress atomic.Pointer[Progress]
+// getter to always report the most recently constructed handler's sweep.
+var statusSource atomic.Value // of func() *Progress
+
+// currentProgress resolves the most recently installed getter (nil-safe).
+func currentProgress() *Progress {
+	if get, ok := statusSource.Load().(func() *Progress); ok && get != nil {
+		return get()
+	}
+	return nil
+}
 
 var publishExpvars = sync.OnceFunc(func() {
 	expvar.Publish("sesa.sweep", expvar.Func(func() any {
-		return currentProgress.Load().Snapshot()
+		return currentProgress().Snapshot()
 	}))
 	expvar.Publish("sesa.histograms", expvar.Func(func() any {
-		return currentProgress.Load().Histograms().Summaries()
+		return currentProgress().Histograms().Summaries()
 	}))
 })
 
-// ServeStatus starts the live-introspection HTTP server on addr and returns
-// the bound address (useful with ":0"). Endpoints:
+// StatusHandler returns the live-introspection handler without binding a
+// listener, so daemons (sesa-serve) can mount the same endpoints on their own
+// mux. get is called once per request and returns the Progress to report —
+// for a CLI sweep that is a fixed tracker, for a daemon whichever sweep is
+// currently running; nil is allowed and serves empty snapshots. Endpoints:
 //
 //	/status         sweep progress snapshot (JSON)
 //	/histograms     merged latency histograms of completed jobs (JSON)
 //	/debug/vars     expvar counters, including sesa.sweep
 //	/debug/pprof/   runtime profiling
 //
-// The server lives until the process exits; sweeps are short-lived relative
-// to the process, so there is no shutdown plumbing.
-func ServeStatus(addr string, p *Progress) (string, error) {
-	if p == nil {
-		return "", fmt.Errorf("runner: ServeStatus needs a non-nil Progress")
+// The expvar counters are process-global; they follow the most recently
+// constructed handler's getter.
+func StatusHandler(get func() *Progress) http.Handler {
+	if get == nil {
+		get = func() *Progress { return nil }
 	}
-	currentProgress.Store(p)
+	statusSource.Store(get)
 	publishExpvars()
 
 	mux := http.NewServeMux()
@@ -246,10 +275,10 @@ func ServeStatus(addr string, p *Progress) (string, error) {
 		_ = enc.Encode(v)
 	}
 	mux.HandleFunc("/status", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, p.Snapshot())
+		writeJSON(w, get().Snapshot())
 	})
 	mux.HandleFunc("/histograms", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, p.Histograms().Summaries())
+		writeJSON(w, get().Histograms().Summaries())
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -257,11 +286,23 @@ func ServeStatus(addr string, p *Progress) (string, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
 
+// ServeStatus starts the live-introspection HTTP server on addr and returns
+// the bound address (useful with ":0"). It serves StatusHandler's endpoints
+// for the fixed tracker p. The server lives until the process exits; CLI
+// sweeps are short-lived relative to the process, so there is no shutdown
+// plumbing (daemons use StatusHandler on their own server instead).
+func ServeStatus(addr string, p *Progress) (string, error) {
+	if p == nil {
+		return "", fmt.Errorf("runner: ServeStatus needs a non-nil Progress")
+	}
+	h := StatusHandler(func() *Progress { return p })
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", fmt.Errorf("runner: status server: %w", err)
 	}
-	go func() { _ = http.Serve(ln, mux) }()
+	go func() { _ = http.Serve(ln, h) }()
 	return ln.Addr().String(), nil
 }

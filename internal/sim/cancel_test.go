@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"sesa/internal/config"
+	"sesa/internal/trace"
+)
+
+// loadedMachine builds a machine running the barnes profile, big enough that
+// a run takes visibly many cycles.
+func loadedMachine(t *testing.T, instPerCore int) *Machine {
+	t.Helper()
+	p, ok := trace.Lookup("barnes")
+	if !ok {
+		t.Fatal("barnes profile missing")
+	}
+	cfg := config.Default(config.SLFSoSKey370)
+	w := trace.Build(p, cfg.Cores, instPerCore, 42)
+	m := newMachine(t, cfg, w.Name)
+	for c, prog := range w.Programs {
+		if err := m.SetProgram(c, prog); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m
+}
+
+func TestRunContextPreCanceled(t *testing.T) {
+	m := loadedMachine(t, 2000)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := m.RunContext(ctx, 2_000_000)
+	var ce *CanceledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *CanceledError", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("errors.Is(err, context.Canceled) = false; err = %v", err)
+	}
+	if ce.Cycles != 0 {
+		t.Errorf("pre-canceled run consumed %d cycles, want 0", ce.Cycles)
+	}
+	if m.Stats.Cycles != ce.Cycles {
+		t.Errorf("Stats.Cycles = %d, error says %d", m.Stats.Cycles, ce.Cycles)
+	}
+}
+
+func TestRunContextCancelMidRun(t *testing.T) {
+	// Big enough that the run takes well over 100ms of host time, so the
+	// timer below lands mid-run.
+	m := loadedMachine(t, 100_000)
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cause := fmt.Errorf("test asked to stop: %w", errTestCause)
+	timer := time.AfterFunc(100*time.Millisecond, func() { cancel(cause) })
+	defer timer.Stop()
+	err := m.RunContext(ctx, 100_000_000)
+	var ce *CanceledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *CanceledError", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("errors.Is(err, context.Canceled) = false; err = %v", err)
+	}
+	if !errors.Is(err, errTestCause) {
+		t.Errorf("errors.Is(err, cause) = false; err = %v", err)
+	}
+	if ce.Cycles == 0 {
+		t.Error("canceled at cycle 0; the run should have progressed before the timer fired")
+	}
+	if m.Stats.Cycles != ce.Cycles {
+		t.Errorf("partial stats not recorded: Stats.Cycles = %d, want %d", m.Stats.Cycles, ce.Cycles)
+	}
+}
+
+var errTestCause = errors.New("sentinel cause")
+
+func TestRunContextDeadlineExceeded(t *testing.T) {
+	m := loadedMachine(t, 2000)
+	ctx, cancel := context.WithTimeout(context.Background(), 0)
+	defer cancel()
+	err := m.RunContext(ctx, 2_000_000)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("errors.Is(err, DeadlineExceeded) = false; err = %v", err)
+	}
+	if errors.Is(err, context.Canceled) {
+		t.Errorf("deadline-exceeded run must not match context.Canceled; err = %v", err)
+	}
+}
+
+// TestRunContextBackgroundIdentical locks in that the cancellation plumbing
+// never perturbs results: RunContext(Background) is Run.
+func TestRunContextBackgroundIdentical(t *testing.T) {
+	a := loadedMachine(t, 3000)
+	b := loadedMachine(t, 3000)
+	if err := a.Run(2_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.RunContext(context.Background(), 2_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats.Cycles != b.Stats.Cycles {
+		t.Errorf("cycles diverge: Run %d, RunContext %d", a.Stats.Cycles, b.Stats.Cycles)
+	}
+	at, bt := a.Stats.Total(), b.Stats.Total()
+	if at != bt {
+		t.Errorf("totals diverge:\nRun        %+v\nRunContext %+v", at, bt)
+	}
+}

@@ -3,6 +3,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"sesa/internal/config"
@@ -28,6 +29,37 @@ type TimeoutError struct {
 func (e *TimeoutError) Error() string {
 	return fmt.Sprintf("sim: machine did not finish within %d cycles (model %s, workload %s)",
 		e.MaxCycles, e.Model, e.Workload)
+}
+
+// CanceledError reports a run cut short by context cancellation. Like a
+// timeout it carries the machine identity and how far the run got, and the
+// machine's partial statistics remain readable. It unwraps to both the
+// context's error and its cancellation cause, so
+// errors.Is(err, context.Canceled) matches even when the canceler attached a
+// custom cause (e.g. "sweep deleted by client"), and the cause itself
+// matches too.
+type CanceledError struct {
+	Cycles   uint64
+	Model    string
+	Workload string
+	// Err is the context's error: context.Canceled or DeadlineExceeded.
+	Err error
+	// Cause is the context's cancellation cause (context.Cause); equal to
+	// Err unless the canceler set one.
+	Cause error
+}
+
+func (e *CanceledError) Error() string {
+	return fmt.Sprintf("sim: run canceled after %d cycles (model %s, workload %s): %v",
+		e.Cycles, e.Model, e.Workload, e.Cause)
+}
+
+// Unwrap exposes the context error and the cancellation cause to errors.Is/As.
+func (e *CanceledError) Unwrap() []error {
+	if e.Cause != nil && e.Cause != e.Err {
+		return []error{e.Err, e.Cause}
+	}
+	return []error{e.Err}
 }
 
 // Machine is one simulated multicore.
@@ -241,13 +273,42 @@ func (m *Machine) bulkTick(n uint64) {
 // error on timeout, which doubles as the liveness check (the no-deadlock
 // argument of Section IV-C).
 func (m *Machine) Run(maxCycles uint64) error {
+	return m.RunContext(context.Background(), maxCycles)
+}
+
+// cancelCheckMask throttles the cancellation poll to every 1024 steps: cheap
+// enough to vanish in the per-step cost, frequent enough that a canceled
+// machine stops within well under a millisecond of host time.
+const cancelCheckMask = 1024 - 1
+
+// RunContext is Run with cooperative cancellation. A context without a Done
+// channel (context.Background) takes a checked-once fast path and behaves
+// exactly like Run; otherwise the context is polled every 1024 steps and a
+// cancellation stops the machine at the next poll, returning a
+// *CanceledError that wraps the context's cause. The cancelled machine is
+// closed out like a timed-out one: residual events drain, Stats.Cycles
+// records how far it got, and the final metrics interval is emitted, so
+// partial statistics stay readable.
+func (m *Machine) RunContext(ctx context.Context, maxCycles uint64) error {
 	skip := m.stepMode == config.StepSkip
+	done := ctx.Done()
+	steps := 0
 	for !m.Done() {
 		if m.clock.Now() >= maxCycles {
 			m.finish()
 			return &TimeoutError{MaxCycles: maxCycles, Model: m.cfg.Model.String(),
 				Workload: m.Stats.Workload}
 		}
+		if done != nil && steps&cancelCheckMask == 0 {
+			select {
+			case <-done:
+				m.finish()
+				return &CanceledError{Cycles: m.clock.Now(), Model: m.cfg.Model.String(),
+					Workload: m.Stats.Workload, Err: ctx.Err(), Cause: context.Cause(ctx)}
+			default:
+			}
+		}
+		steps++
 		m.Step()
 		if skip {
 			m.skipAhead(maxCycles)

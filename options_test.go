@@ -1,0 +1,183 @@
+package sesa_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"sesa"
+)
+
+// loadDemo installs a small two-core program mix on sys.
+func loadDemo(t *testing.T, sys *sesa.System) {
+	t.Helper()
+	progs := []sesa.Program{
+		{
+			sesa.StoreImm(0x100, 1),
+			sesa.Load(1, 0x100),
+			sesa.StoreImm(0x200, 2),
+			sesa.Load(2, 0x200),
+		},
+		{
+			sesa.Load(1, 0x200),
+			sesa.StoreImm(0x300, 3),
+			sesa.Load(2, 0x300),
+		},
+	}
+	for i, p := range progs {
+		if err := sys.LoadProgram(i, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestNewOptionsEquivalence locks in that New with options reproduces the
+// imperative construction paths exactly.
+func TestNewOptionsEquivalence(t *testing.T) {
+	cfg := sesa.SmallConfig(2, sesa.SLFSoSKey370)
+
+	old, err := sesa.NewSystem(cfg, "demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := sesa.New(cfg, sesa.WithWorkloadName("demo"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadDemo(t, old)
+	loadDemo(t, opt)
+	if err := old.Run(100_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := opt.Run(100_000); err != nil {
+		t.Fatal(err)
+	}
+	if old.Stats().Workload != opt.Stats().Workload {
+		t.Errorf("workload names diverge: %q vs %q", old.Stats().Workload, opt.Stats().Workload)
+	}
+	if old.Cycles() != opt.Cycles() {
+		t.Errorf("cycles diverge: %d vs %d", old.Cycles(), opt.Cycles())
+	}
+	if a, b := old.Stats().Total(), opt.Stats().Total(); a != b {
+		t.Errorf("totals diverge:\nsetters %+v\noptions %+v", a, b)
+	}
+}
+
+func TestNewWithStepModeAndSinks(t *testing.T) {
+	cfg := sesa.SmallConfig(2, sesa.X86)
+	hists := sesa.NewHistSet(cfg.Cores)
+	tracer := sesa.NewTracer(cfg.Cores, sesa.TraceOptions{MetricsInterval: 100})
+	sys, err := sesa.New(cfg,
+		sesa.WithWorkloadName("sinks"),
+		sesa.WithTrace(tracer),
+		sesa.WithHistograms(hists),
+		sesa.WithStepMode(sesa.StepNaive))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadDemo(t, sys)
+	if err := sys.Run(100_000); err != nil {
+		t.Fatal(err)
+	}
+
+	// The naive stepper must match the default skip clock byte-for-byte.
+	ref, err := sesa.New(cfg, sesa.WithWorkloadName("sinks"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadDemo(t, ref)
+	if err := ref.Run(100_000); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Cycles() != ref.Cycles() {
+		t.Errorf("naive %d cycles, skip %d", sys.Cycles(), ref.Cycles())
+	}
+
+	// The optioned-in sinks must actually be attached.
+	if len(hists.Merged().Summaries()) == 0 {
+		t.Error("WithHistograms attached nothing: merged histogram is empty")
+	}
+}
+
+func TestRunContextTypedErrors(t *testing.T) {
+	cfg := sesa.SmallConfig(1, sesa.X86)
+	sys, err := sesa.New(cfg, sesa.WithWorkloadName("typed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.LoadProgram(0, sesa.Program{sesa.Load(1, 0x100)}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err = sys.RunContext(ctx, 100_000)
+	var ce *sesa.CanceledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *sesa.CanceledError", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("errors.Is(err, context.Canceled) = false; err = %v", err)
+	}
+
+	// The timeout path stays intact and distinct.
+	sys2, err := sesa.New(cfg, sesa.WithWorkloadName("typed2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys2.LoadProgram(0, sesa.Program{sesa.Load(1, 0x100)}); err != nil {
+		t.Fatal(err)
+	}
+	err = sys2.RunContext(context.Background(), 1)
+	var te *sesa.TimeoutError
+	if !errors.As(err, &te) {
+		t.Fatalf("err = %v, want *sesa.TimeoutError", err)
+	}
+	if errors.Is(err, context.Canceled) {
+		t.Errorf("timeout must not match context.Canceled; err = %v", err)
+	}
+}
+
+func TestRunSweepContextCancel(t *testing.T) {
+	var jobs []sesa.SweepJob
+	for seed := uint64(1); seed <= 4; seed++ {
+		j, err := sesa.BenchmarkJob("radix", sesa.X86, 200_000, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	timer := time.AfterFunc(150*time.Millisecond, cancel)
+	defer timer.Stop()
+	start := time.Now()
+	results, sum := sesa.RunSweepContext(ctx, jobs, 2)
+	if wall := time.Since(start); wall > 10*time.Second {
+		t.Errorf("canceled sweep took %s; workers were not freed", wall)
+	}
+	if len(results) != len(jobs) {
+		t.Fatalf("got %d results, want %d", len(results), len(jobs))
+	}
+	for i := range results {
+		if !results[i].Canceled() {
+			t.Errorf("job %d: Canceled() = false, err = %v", i, results[i].Err)
+		}
+	}
+	if sum.Canceled != len(jobs) {
+		t.Errorf("summary Canceled = %d, want %d", sum.Canceled, len(jobs))
+	}
+
+	// An uncanceled context reproduces RunSweep.
+	small, err := sesa.BenchmarkJob("radix", sesa.X86, 2000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := sesa.RunSweep([]sesa.SweepJob{small}, 1)
+	b, _ := sesa.RunSweepContext(context.Background(), []sesa.SweepJob{small}, 1)
+	if a[0].Err != nil || b[0].Err != nil {
+		t.Fatalf("small jobs failed: %v / %v", a[0].Err, b[0].Err)
+	}
+	if a[0].Char != b[0].Char {
+		t.Error("RunSweep and RunSweepContext(Background) diverge")
+	}
+}

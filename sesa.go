@@ -27,6 +27,8 @@
 package sesa
 
 import (
+	"context"
+
 	"sesa/internal/config"
 	"sesa/internal/core"
 	"sesa/internal/isa"
@@ -78,6 +80,10 @@ const (
 // ParseStepMode parses a -step-mode flag value ("skip" or "naive").
 func ParseStepMode(s string) (StepMode, error) { return config.ParseStepMode(s) }
 
+// ParseModel parses a model name as printed by Model.String ("x86",
+// "370-NoSpec", ...), the inverse used by flags and the sesa-serve job JSON.
+func ParseModel(s string) (Model, error) { return config.ParseModel(s) }
+
 // Program is a per-core instruction trace.
 type Program = isa.Program
 
@@ -128,13 +134,13 @@ type System struct {
 	m *sim.Machine
 }
 
-// NewSystem builds a machine; workload names the run in statistics.
+// NewSystem builds a machine; workload names the run in statistics. It is a
+// thin wrapper over New(cfg, WithWorkloadName(workload)), kept so the
+// original two-argument constructor keeps compiling everywhere; new code
+// that also needs tracing, histograms or a step-mode override should call
+// New with the corresponding options.
 func NewSystem(cfg Config, workload string) (*System, error) {
-	m, err := sim.New(cfg, workload)
-	if err != nil {
-		return nil, err
-	}
-	return &System{m: m}, nil
+	return New(cfg, WithWorkloadName(workload))
 }
 
 // LoadProgram installs the trace for core i.
@@ -149,8 +155,17 @@ func (s *System) ReadMemory(addr uint64) uint64 { return s.m.ReadMemory(addr) }
 // Core returns core i for register inspection.
 func (s *System) Core(i int) *core.Core { return s.m.Core(i) }
 
-// Run executes until all cores finish or maxCycles elapse.
+// Run executes until all cores finish or maxCycles elapse. It is
+// RunContext with context.Background().
 func (s *System) Run(maxCycles uint64) error { return s.m.Run(maxCycles) }
+
+// RunContext is Run with cooperative cancellation: a canceled context stops
+// the machine within ~1000 simulated steps and returns a *CanceledError
+// wrapping the context's cause (errors.Is(err, context.Canceled) matches),
+// with partial statistics readable — mirroring the timeout path.
+func (s *System) RunContext(ctx context.Context, maxCycles uint64) error {
+	return s.m.RunContext(ctx, maxCycles)
+}
 
 // Cycles returns the machine execution time so far.
 func (s *System) Cycles() uint64 { return s.m.Cycle() }

@@ -1,6 +1,7 @@
 package sesa
 
 import (
+	"context"
 	"fmt"
 
 	"sesa/internal/report"
@@ -38,6 +39,17 @@ func BenchmarkJob(name string, model Model, instPerCore int, seed uint64) (Sweep
 // sweep; it is returned with Err set and partial statistics.
 func RunSweep(jobs []SweepJob, workers int) ([]SweepResult, SweepSummary) {
 	return RunSweepMonitored(jobs, workers, nil)
+}
+
+// RunSweepContext is RunSweep with cooperative cancellation: when ctx is
+// canceled, running machines stop at their next cancellation poll and queued
+// jobs fail immediately, freeing the workers mid-sweep. Canceled jobs come
+// back as results whose Err wraps the context's cause (errors.Is with
+// context.Canceled matches; SweepResult.Canceled reports them) with partial
+// statistics. An uncanceled context reproduces RunSweep exactly.
+func RunSweepContext(ctx context.Context, jobs []SweepJob, workers int) ([]SweepResult, SweepSummary) {
+	pool := runner.Pool{Workers: workers, Cache: trace.Shared()}
+	return pool.RunContext(ctx, jobs)
 }
 
 // SweepProgress tracks a live sweep for the -status-addr endpoint: jobs
