@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"sesa"
@@ -31,6 +32,7 @@ var modelPairs = []modelPair{
 
 func main() {
 	testName := flag.String("test", "", "litmus test name or comma-separated list (default: all)")
+	alloyDir := flag.String("export-alloy", "", "also write each selected test as a memalloy-style candidate-execution module (<name>.als) into this directory")
 	stepModeName := flag.String("step-mode", "skip", "accepted for CLI uniformity with the simulator binaries; the exhaustive checker is untimed, so the value has no effect")
 	flag.Parse()
 
@@ -39,14 +41,16 @@ func main() {
 		os.Exit(1)
 	}
 
-	if err := run(os.Stdout, *testName); err != nil {
+	if err := run(os.Stdout, *testName, *alloyDir); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-// run checks the selected tests and writes the report to w.
-func run(w io.Writer, testName string) error {
+// run checks the selected tests and writes the report to w; with a non-empty
+// alloyDir it additionally exports every test as an Alloy module, leaving
+// the report itself untouched.
+func run(w io.Writer, testName, alloyDir string) error {
 	tests := sesa.LitmusTests()
 	if testName != "" {
 		tests = nil
@@ -67,7 +71,23 @@ func run(w io.Writer, testName string) error {
 		}
 	}
 
+	if alloyDir != "" {
+		if err := os.MkdirAll(alloyDir, 0o755); err != nil {
+			return err
+		}
+	}
+
 	for _, t := range tests {
+		if alloyDir != "" {
+			mod, err := sesa.ExportAlloy(t.Name, t.Prog)
+			if err != nil {
+				return err
+			}
+			path := filepath.Join(alloyDir, t.Name+".als")
+			if err := os.WriteFile(path, []byte(mod), 0o644); err != nil {
+				return err
+			}
+		}
 		fmt.Fprintf(w, "=== %s — %s\n", t.Name, t.Doc)
 		for _, m := range []sesa.CheckerModel{sesa.CheckerSC, sesa.Checker370TSO, sesa.CheckerX86TSO} {
 			out := sesa.Enumerate(t.Prog, m)

@@ -11,10 +11,10 @@ import (
 // map-iteration output order: two runs must be byte-identical.
 func TestRunDeterministic(t *testing.T) {
 	var a, b bytes.Buffer
-	if err := run(&a, ""); err != nil {
+	if err := run(&a, "", ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(&b, ""); err != nil {
+	if err := run(&b, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(a.Bytes(), b.Bytes()) {
@@ -28,7 +28,7 @@ func TestRunDeterministic(t *testing.T) {
 //	go run ./cmd/sesa-check > cmd/sesa-check/testdata/check_all.golden
 func TestRunGolden(t *testing.T) {
 	var got bytes.Buffer
-	if err := run(&got, ""); err != nil {
+	if err := run(&got, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	want, err := os.ReadFile(filepath.Join("testdata", "check_all.golden"))
@@ -43,7 +43,32 @@ func TestRunGolden(t *testing.T) {
 // TestRunUnknownTest checks the error path.
 func TestRunUnknownTest(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "no-such-test"); err == nil {
+	if err := run(&buf, "no-such-test", ""); err == nil {
 		t.Fatal("expected an error for an unknown test")
+	}
+}
+
+// TestRunExportAlloy: -export-alloy writes one module per selected test and
+// leaves the stdout report byte-identical to a run without it.
+func TestRunExportAlloy(t *testing.T) {
+	dir := t.TempDir()
+	var with, without bytes.Buffer
+	if err := run(&without, "n6,iriw", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&with, "n6,iriw", dir); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(with.Bytes(), without.Bytes()) {
+		t.Fatal("-export-alloy changed the report output")
+	}
+	for _, name := range []string{"n6.als", "iriw.als"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Contains(data, []byte("open exec_H[E]")) {
+			t.Errorf("%s: not an exec_H module", name)
+		}
 	}
 }

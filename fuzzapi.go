@@ -1,0 +1,76 @@
+package sesa
+
+import (
+	"sesa/internal/config"
+	"sesa/internal/fuzz"
+)
+
+// FuzzBudget bounds the shape of generated litmus programs (threads, ops
+// per thread, distinct addresses, fences, RMWs).
+type FuzzBudget = fuzz.Budget
+
+// FuzzOptions configures one three-way cross-validation: which machines to
+// witness-run on the timing simulator and with what timing exploration.
+type FuzzOptions = fuzz.Options
+
+// FuzzReport is the cross-validation result for one program; FuzzMismatch
+// one three-way disagreement inside it.
+type (
+	FuzzReport   = fuzz.Report
+	FuzzMismatch = fuzz.Mismatch
+)
+
+// FuzzProgramReport pairs a generated program's seed with its report.
+type FuzzProgramReport = fuzz.ProgramReport
+
+// DefaultFuzzBudget is the CI fuzzing budget: 3 threads, 4 ops, 2 addresses,
+// 1 fence, 1 RMW.
+func DefaultFuzzBudget() FuzzBudget { return fuzz.DefaultBudget() }
+
+// ParseFuzzBudget parses a -budget flag value ("threads=3,ops=4,...");
+// omitted keys keep their defaults.
+func ParseFuzzBudget(s string) (FuzzBudget, error) { return fuzz.ParseBudget(s) }
+
+// DefaultFuzzOptions is the CI witness budget: all five machines, a handful
+// of timing samples per variant, SB pressure on, both configurations.
+func DefaultFuzzOptions() FuzzOptions { return fuzz.DefaultOptions() }
+
+// GenerateLitmus deterministically generates the litmus program of a seed
+// under a budget: same seed and budget, same program, forever.
+func GenerateLitmus(seed uint64, b FuzzBudget) CheckerProgram { return fuzz.Generate(seed, b) }
+
+// RenderLitmusText renders a program in the ConsistencyChecker column
+// format; ParseLitmusText is its inverse.
+func RenderLitmusText(p CheckerProgram) (string, error) { return fuzz.Render(p) }
+
+// ParseLitmusText parses a ConsistencyChecker-style program text.
+func ParseLitmusText(src string) (CheckerProgram, error) { return fuzz.Parse(src) }
+
+// ExportAlloy renders a program as a memalloy-style candidate-execution
+// module (exec_H signature) for external axiomatic tools.
+func ExportAlloy(name string, p CheckerProgram) (string, error) { return fuzz.ExportAlloy(name, p) }
+
+// FuzzCrossValidate checks one program three ways: operational checker vs
+// axiomatic enumerator (outcome-set equality per model) and timing-simulator
+// witnesses vs the bounding operational model (set inclusion).
+func FuzzCrossValidate(p CheckerProgram, opt FuzzOptions) (*FuzzReport, error) {
+	return fuzz.CrossValidate(p, opt)
+}
+
+// FuzzMany generates and cross-validates count programs on jobs workers.
+// Program i uses seed baseSeed+i and results come back in index order, so
+// output is byte-identical across worker counts and any program reproduces
+// alone from its seed.
+func FuzzMany(baseSeed uint64, count int, b FuzzBudget, opt FuzzOptions, jobs int) []FuzzProgramReport {
+	return fuzz.RunMany(baseSeed, count, b, opt, jobs)
+}
+
+// MinimizeLitmus greedily shrinks a failing program while the predicate
+// keeps holding, deterministically.
+func MinimizeLitmus(p CheckerProgram, failing func(CheckerProgram) bool) CheckerProgram {
+	return fuzz.Minimize(p, fuzz.Failing(failing))
+}
+
+// ModelNames lists the five machine-model names in the paper's order — the
+// spellings ParseModel accepts.
+func ModelNames() []string { return config.ModelNames() }

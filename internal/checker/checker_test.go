@@ -256,6 +256,90 @@ func TestRMWAtomicity(t *testing.T) {
 	}
 }
 
+// TestCompareTable drives Compare over the litmus programs of this file:
+// the diff must be exactly the set difference of the Enumerate outcome sets,
+// sorted, and match the known model gaps (or lack of one) per program pair.
+func TestCompareTable(t *testing.T) {
+	sb := Program{
+		Threads: []isa.Program{
+			{isa.StoreImm(x, 1), isa.Load(1, y)},
+			{isa.StoreImm(y, 1), isa.Load(1, x)},
+		},
+		Init: map[uint64]uint64{x: 0, y: 0},
+		Regs: []RegObs{
+			{Thread: 0, Reg: 1, Name: "ry"},
+			{Thread: 1, Reg: 1, Name: "rx"},
+		},
+	}
+	cases := []struct {
+		name string
+		prog Program
+		a, b Model
+		// wantGap: outcomes that must be in Compare(prog, a, b);
+		// wantEmpty asserts there is no gap at all.
+		wantGap   []Outcome
+		wantEmpty bool
+	}{
+		{name: "mp x86-vs-370 has no gap", prog: mp(), a: X86TSO, b: TSO370, wantEmpty: true},
+		{name: "mp 370-vs-sc has no gap", prog: mp(), a: TSO370, b: SC, wantEmpty: true},
+		{name: "n6 x86-vs-370 is the signature", prog: n6(), a: X86TSO, b: TSO370,
+			wantGap: []Outcome{"rx=1 ry=0 [x]=1 [y]=2"}},
+		{name: "n6 370-vs-x86 is empty (MCA subset)", prog: n6(), a: TSO370, b: X86TSO, wantEmpty: true},
+		{name: "sb x86-vs-370 has no gap", prog: sb, a: X86TSO, b: TSO370, wantEmpty: true},
+		{name: "sb x86-vs-sc is the relaxation", prog: sb, a: X86TSO, b: SC,
+			wantGap: []Outcome{"ry=0 rx=0"}},
+		{name: "iriw x86-vs-370 has no gap", prog: iriw(), a: X86TSO, b: TSO370, wantEmpty: true},
+		{name: "identical models always empty", prog: n6(), a: X86TSO, b: X86TSO, wantEmpty: true},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			diff := Compare(c.prog, c.a, c.b)
+			if c.wantEmpty {
+				if len(diff) != 0 {
+					t.Fatalf("Compare(%s, %s) = %v, want empty", c.a, c.b, diff)
+				}
+				return
+			}
+			if len(diff) == 0 {
+				t.Fatalf("Compare(%s, %s) is empty, want a gap", c.a, c.b)
+			}
+			for _, want := range c.wantGap {
+				found := false
+				for _, o := range diff {
+					if o == want {
+						found = true
+					}
+				}
+				if !found {
+					t.Errorf("Compare(%s, %s) = %v, missing %q", c.a, c.b, diff, want)
+				}
+			}
+			// Exactness: the diff is precisely allowed(a) minus allowed(b),
+			// and comes back sorted and duplicate-free.
+			oa, ob := Enumerate(c.prog, c.a), Enumerate(c.prog, c.b)
+			seen := map[Outcome]bool{}
+			for i, o := range diff {
+				if !oa.Contains(o) || ob.Contains(o) {
+					t.Errorf("diff outcome %q is not in allowed(%s)-allowed(%s)", o, c.a, c.b)
+				}
+				if seen[o] {
+					t.Errorf("duplicate outcome %q", o)
+				}
+				seen[o] = true
+				if i > 0 && !(diff[i-1] < o) {
+					t.Errorf("diff not sorted at %d: %q >= %q", i, diff[i-1], o)
+				}
+			}
+			for o := range oa {
+				if !ob.Contains(o) && !seen[o] {
+					t.Errorf("Compare missed gap outcome %q", o)
+				}
+			}
+		})
+	}
+}
+
 // TestTaxonomy pins Table I: 370 is store-atomic (MCA): every 370 outcome
 // set is a subset of the x86 set, and SC sets are subsets of both, on the
 // suite of programs in this file.

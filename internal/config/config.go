@@ -68,6 +68,12 @@ func AllModels() []Model {
 	return []Model{X86, NoSpec370, SLFSpec370, SLFSoS370, SLFSoSKey370}
 }
 
+// ModelNames lists the five model names in the paper's order — the
+// spellings ParseModel accepts.
+func ModelNames() []string {
+	return append([]string(nil), modelNames[:]...)
+}
+
 // ParseModel parses a model name as printed by Model.String ("x86",
 // "370-NoSpec", ...); the error for an unknown name lists every valid one.
 func ParseModel(s string) (Model, error) {

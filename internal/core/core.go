@@ -52,6 +52,11 @@ type Core struct {
 	// lastFence is the youngest in-flight fence; younger loads record it
 	// as their issue barrier.
 	lastFence *entry
+	// rmws holds in-flight atomic RMWs. An RMW bypasses the store queue, so
+	// the SQ search can neither forward from it nor order a younger load
+	// behind it; overlapping younger loads block here until the RMW
+	// performs. The list compacts itself during the scan.
+	rmws []*entry
 	// drainInflight and lastDrainWhen pipeline the SB drain while keeping
 	// insertion in order.
 	drainInflight int
@@ -613,6 +618,9 @@ func (c *Core) tryIssueLoad(e *entry, now uint64) bool {
 	if e.fenceBarrier != nil && e.fenceBarrier.status != stRetired {
 		return false // serialize loads behind an in-flight fence
 	}
+	if len(c.rmws) > 0 && c.rmwBlocked(e) {
+		return false
+	}
 	e.lineAddr = c.hier.LineAddr(e.inst.Addr)
 
 	// Blocked on a specific store writing to the L1 (370-NoSpec blanket
@@ -697,6 +705,31 @@ func (c *Core) tryIssueLoad(e *entry, now uint64) bool {
 	}
 	c.issueToMemory(e, now)
 	return true
+}
+
+// rmwBlocked reports whether an older in-flight RMW overlapping the load's
+// bytes has not yet performed. Such a load must wait: the RMW's write never
+// enters the SQ, so issuing the load early would read the pre-RMW value with
+// no disambiguation or squash to catch it. Completed, retired and squashed
+// RMWs are dropped from the list as it is scanned, so the check costs
+// nothing once they drain.
+func (c *Core) rmwBlocked(e *entry) bool {
+	live := c.rmws[:0]
+	blocked := false
+	for _, r := range c.rmws {
+		if !r.alive || r.status >= stDone {
+			continue
+		}
+		live = append(live, r)
+		if r.dynSeq < e.dynSeq && overlaps(r, e) {
+			blocked = true
+		}
+	}
+	for i := len(live); i < len(c.rmws); i++ {
+		c.rmws[i] = nil
+	}
+	c.rmws = live
+	return blocked
 }
 
 func (c *Core) issueToMemory(e *entry, now uint64) {
@@ -802,6 +835,8 @@ func (c *Core) dispatchOne(in isa.Inst, now uint64) {
 	case isa.OpLoad:
 		e.fenceBarrier = c.lastFence
 		c.lq = append(c.lq, e)
+	case isa.OpRMW:
+		c.rmws = append(c.rmws, e)
 	case isa.OpStore:
 		c.sq.alloc(e)
 	case isa.OpBranch:

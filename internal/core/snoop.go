@@ -80,6 +80,17 @@ func (c *Core) loadSpeculative(i int, e *entry) (mspec, sa bool) {
 			break
 		}
 	}
+	if !mspec {
+		// An in-flight atomic RMW is an older unperformed read too; it
+		// occupies no LQ slot, but a load that performed past it is just
+		// as speculative.
+		for _, r := range c.rmws {
+			if r.alive && r.status < stDone && r.dynSeq < e.dynSeq {
+				mspec = true
+				break
+			}
+		}
+	}
 	switch c.model {
 	case config.SLFSoS370, config.SLFSoSKey370:
 		if c.gate.Closed() {

@@ -1,0 +1,90 @@
+package fuzz
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExportAlloyN6(t *testing.T) {
+	p, err := Parse(`
+init x=0 y=0
+st x, 1    | st y, 2
+ld x -> a0 | st x, 2
+ld y -> a1 | .
+observe [x] [y]
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ExportAlloy("n6", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"module n6[E]",
+		"open exec_H[E]",
+		"pred n6 [x : Exec_H]",
+		"some disj e1, e2, e3, e4, e5 : E",
+		"x.ev = e1 + e2 + e3 + e4 + e5",
+		// Thread 0 program order is transitive: three events, three pairs.
+		"(e1 -> e2) + (e1 -> e3) + (e2 -> e3)",
+		"x.W = e1 + e4 + e5",
+		"x.R = e2 + e3",
+		"x.F = none",
+		"x.sthd = sq[e1 + e2 + e3] + sq[e4 + e5]",
+		// x-events and y-events partition by location.
+		"sq[e1 + e2 + e5] + sq[e3 + e4]",
+		"x.atom = none->none",
+		"run { some x : Exec_H | n6[x] } for 5 E",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("export missing %q:\n%s", want, out)
+		}
+	}
+	// rf and co must be left free for the external enumerator.
+	if strings.Contains(out, "x.rf =") || strings.Contains(out, "x.co =") {
+		t.Error("rf/co must not be constrained")
+	}
+}
+
+func TestExportAlloyRMWAndFence(t *testing.T) {
+	p, err := Parse(`
+rmw x, 1 -> a0
+fence
+ld x -> a1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ExportAlloy("rmw-fence", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		// RMW splits into an atom-related read-write pair.
+		"x.atom = (e1 -> e2)",
+		"x.F = e3",
+		"x.R = e1 + e4",
+		"x.W = e2",
+		"pred rmw_fence",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("export missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExportAlloyDeterministic(t *testing.T) {
+	p := Generate(11, DefaultBudget())
+	a, err := ExportAlloy("seed11", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ExportAlloy("seed11", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("two exports of the same program differ")
+	}
+}

@@ -1,0 +1,123 @@
+// Failure minimization: shrink a failing program while it keeps failing, so
+// the repro dumped on a cross-validation mismatch is as small as the bug
+// allows.
+package fuzz
+
+import (
+	"sesa/internal/checker"
+	"sesa/internal/isa"
+)
+
+// Failing reports whether a candidate program still exhibits the failure
+// being minimized (for the fuzzer: CrossValidate still returns mismatches).
+type Failing func(checker.Program) bool
+
+// Minimize greedily removes threads, then single instructions, then memory
+// observables, re-checking the failure after each removal, until no single
+// removal preserves it. Deterministic: candidates are tried in a fixed
+// order, so the same failing program always minimizes to the same repro.
+func Minimize(p checker.Program, failing Failing) checker.Program {
+	cur := cloneProgram(p)
+	for {
+		shrunk := false
+
+		for ti := 0; ti < len(cur.Threads); ti++ {
+			if len(cur.Threads) <= 1 {
+				break
+			}
+			if q := removeThread(cur, ti); failing(q) {
+				cur = q
+				shrunk = true
+				ti--
+			}
+		}
+
+		for ti := 0; ti < len(cur.Threads); ti++ {
+			for i := 0; i < len(cur.Threads[ti]); i++ {
+				if q := removeInst(cur, ti, i); failing(q) {
+					cur = q
+					shrunk = true
+					i--
+				}
+			}
+		}
+
+		for i := 0; i < len(cur.Mem); i++ {
+			q := cloneProgram(cur)
+			q.Mem = append(q.Mem[:i:i], q.Mem[i+1:]...)
+			if failing(q) {
+				cur = q
+				shrunk = true
+				i--
+			}
+		}
+
+		if !shrunk {
+			return cur
+		}
+	}
+}
+
+// cloneProgram deep-copies a program.
+func cloneProgram(p checker.Program) checker.Program {
+	q := checker.Program{
+		Threads: make([]isa.Program, len(p.Threads)),
+		Init:    make(map[uint64]uint64, len(p.Init)),
+		Regs:    append([]checker.RegObs(nil), p.Regs...),
+		Mem:     append([]checker.MemObs(nil), p.Mem...),
+	}
+	for i, th := range p.Threads {
+		q.Threads[i] = append(isa.Program(nil), th...)
+	}
+	for a, v := range p.Init {
+		q.Init[a] = v
+	}
+	return q
+}
+
+// removeThread drops thread ti, dropping its register observables and
+// renumbering the observables of later threads.
+func removeThread(p checker.Program, ti int) checker.Program {
+	q := cloneProgram(p)
+	q.Threads = append(q.Threads[:ti:ti], q.Threads[ti+1:]...)
+	regs := q.Regs[:0]
+	for _, ro := range q.Regs {
+		if ro.Thread == ti {
+			continue
+		}
+		if ro.Thread > ti {
+			ro.Thread--
+		}
+		regs = append(regs, ro)
+	}
+	q.Regs = regs
+	return q
+}
+
+// removeInst drops instruction i of thread ti; a removed load or RMW also
+// drops its register observable, and any later store of that register in the
+// same thread (the register would read as 0, changing the failure shape).
+func removeInst(p checker.Program, ti, i int) checker.Program {
+	q := cloneProgram(p)
+	in := q.Threads[ti][i]
+	q.Threads[ti] = append(q.Threads[ti][:i:i], q.Threads[ti][i+1:]...)
+	if (in.Op == isa.OpLoad || in.Op == isa.OpRMW) && in.Dst != isa.RegNone {
+		regs := q.Regs[:0]
+		for _, ro := range q.Regs {
+			if ro.Thread == ti && ro.Reg == in.Dst {
+				continue
+			}
+			regs = append(regs, ro)
+		}
+		q.Regs = regs
+		th := q.Threads[ti][:0]
+		for _, rem := range q.Threads[ti] {
+			if rem.Op == isa.OpStore && rem.Src1 == in.Dst {
+				continue
+			}
+			th = append(th, rem)
+		}
+		q.Threads[ti] = th
+	}
+	return q
+}

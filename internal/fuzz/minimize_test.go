@@ -1,0 +1,102 @@
+package fuzz
+
+import (
+	"reflect"
+	"testing"
+
+	"sesa/internal/checker"
+)
+
+// TestMinimizeShrinksToWitnessCore: a padded n6 — extra thread, junk loads
+// and stores to an unrelated variable — minimized against "the x86-vs-370
+// diff is still non-empty" must shed the padding and land back on the n6
+// core, which is itself minimal (every one of its 5 ops pins the signature
+// outcome).
+func TestMinimizeShrinksToWitnessCore(t *testing.T) {
+	p, err := Parse(`
+init x=0 y=0 z=0
+st x, 1    | st y, 2   | st z, 9
+ld z -> a0 | st x, 2   | ld z -> c0
+ld x -> a1 | ld z -> b0 | .
+ld y -> a2 | .          | .
+observe [x] [y]
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failing := func(q checker.Program) bool {
+		return len(checker.Compare(q, checker.X86TSO, checker.TSO370)) > 0
+	}
+	if !failing(p) {
+		t.Fatal("padded n6 must distinguish the models before minimization")
+	}
+	min := Minimize(p, failing)
+	if !failing(min) {
+		t.Fatal("minimized program no longer fails")
+	}
+	if len(min.Threads) != 2 {
+		t.Errorf("padding thread survived: %d threads", len(min.Threads))
+	}
+	ops := 0
+	for _, th := range min.Threads {
+		ops += len(th)
+	}
+	if ops != 5 {
+		t.Errorf("want the 5-op n6 core after minimization, got %d ops", ops)
+	}
+	// Determinism: minimizing twice gives the identical program.
+	min2 := Minimize(p, failing)
+	if !reflect.DeepEqual(min, min2) {
+		t.Error("minimization is not deterministic")
+	}
+}
+
+// TestMinimizeDropsThread: with a failure predicate that ignores one whole
+// thread, that thread must be removed and the remaining observables
+// renumbered.
+func TestMinimizeDropsThread(t *testing.T) {
+	p, err := Parse(`
+st x, 1    | ld y -> b0 | st y, 3
+.          | ld x -> b1 | .
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Failure depends only on threads reading/writing x.
+	failing := func(q checker.Program) bool {
+		for _, th := range q.Threads {
+			for _, in := range th {
+				if in.Addr == VarAddr(0) && in.Op.IsMem() {
+					goto hasX
+				}
+			}
+		}
+		return false
+	hasX:
+		return len(q.Threads) >= 2
+	}
+	min := Minimize(p, failing)
+	if len(min.Threads) != 2 {
+		t.Fatalf("want 2 threads after minimization, got %d", len(min.Threads))
+	}
+	for _, ro := range min.Regs {
+		if ro.Thread >= len(min.Threads) {
+			t.Fatalf("observable %v points past the surviving threads", ro)
+		}
+	}
+}
+
+// TestMinimizeNeverReturnsNonFailing: the result of Minimize always
+// satisfies the predicate, even for a predicate that rejects every shrink.
+func TestMinimizeNeverReturnsNonFailing(t *testing.T) {
+	p := Generate(3, DefaultBudget())
+	orig, _ := Render(p)
+	failing := func(q checker.Program) bool {
+		text, err := Render(q)
+		return err == nil && text == orig
+	}
+	min := Minimize(p, failing)
+	if text, _ := Render(min); text != orig {
+		t.Fatal("minimize changed a program whose every shrink fails the predicate")
+	}
+}

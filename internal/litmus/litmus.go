@@ -478,11 +478,21 @@ func Run(t Test, model config.Model, iters int, seedBase uint64) (*Result, error
 // tracer). The hook must not keep the machine running concurrently —
 // iterations stay sequential and deterministic.
 func RunTraced(t Test, model config.Model, iters int, seedBase uint64, attach func(iter int, m *sim.Machine)) (*Result, error) {
-	res := &Result{Test: t.Name, Model: model, Iters: iters, Outcomes: make(map[checker.Outcome]int)}
+	return RunConfigTraced(t, config.Skylake(len(t.Prog.Threads), model), iters, seedBase, attach)
+}
+
+// RunConfigTraced is RunTraced with an explicit base machine configuration:
+// the litmus fuzzer's witness search runs each program both on the Table III
+// machine and on the tiny-cache variant, whose evictions perturb timing into
+// orderings the big caches never exhibit. Per-iteration jitter seeds and
+// start staggering are layered on top of the base configuration exactly as
+// in RunTraced.
+func RunConfigTraced(t Test, base config.Config, iters int, seedBase uint64, attach func(iter int, m *sim.Machine)) (*Result, error) {
+	res := &Result{Test: t.Name, Model: base.Model, Iters: iters, Outcomes: make(map[checker.Outcome]int)}
 	rng := seedBase*2654435761 + 1
 	for it := 0; it < iters; it++ {
 		rng = rng*6364136223846793005 + 1442695040888963407
-		cfg := config.Skylake(len(t.Prog.Threads), model)
+		cfg := base
 		cfg.Jitter = 9
 		cfg.JitterSeed = rng
 		m, err := sim.New(cfg, t.Name)

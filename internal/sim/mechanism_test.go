@@ -149,6 +149,33 @@ func TestNoSpecBlocksForwarding(t *testing.T) {
 	}
 }
 
+// TestRMWBlocksYoungerOverlappingLoad: an RMW bypasses the store queue, so
+// its write is invisible to load disambiguation; a younger same-address load
+// must nonetheless observe it. The slow-store prefix keeps the SB busy so
+// the RMW (which waits for the drain) issues long after the load is ready —
+// exactly the window where an unblocked load would read the pre-RMW value.
+func TestRMWBlocksYoungerOverlappingLoad(t *testing.T) {
+	for _, model := range []config.Model{config.X86, config.NoSpec370,
+		config.SLFSpec370, config.SLFSoS370, config.SLFSoSKey370} {
+		prog := append(slowStorePrefix(2, 0x90000),
+			isa.RMW(1, 0x1000, 5), // old value -> r1, writes 5
+			isa.Load(2, 0x1000),   // must see the RMW's write
+			isa.Load(3, 0x1040),   // disjoint address: unconstrained
+		)
+		m := newMachine(t, config.Skylake(1, model), "rmw-load")
+		if err := m.SetProgram(0, prog); err != nil {
+			t.Fatal(err)
+		}
+		mustRun(t, m)
+		if got := m.Core(0).RegValue(1); got != 0 {
+			t.Errorf("%s: rmw old value = %d, want 0", model, got)
+		}
+		if got := m.Core(0).RegValue(2); got != 5 {
+			t.Errorf("%s: ld after rmw = %d, want the rmw's write 5", model, got)
+		}
+	}
+}
+
 // TestSLFSpecHoldsSLFLoadAtRetire: SC-like speculation retires the SLF load
 // only when the store buffer has drained.
 func TestSLFSpecHoldsSLFLoadAtRetire(t *testing.T) {
