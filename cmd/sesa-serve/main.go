@@ -15,6 +15,16 @@
 // experiment returns instantly with byte-identical results. SIGTERM/SIGINT
 // drains gracefully: admission stops (503), queued and running sweeps get
 // -drain-timeout to finish, then the rest is canceled and the process exits.
+//
+// With -fleet the daemon becomes a coordinator: instead of simulating on
+// the local runner pool, it shards each sweep into job batches that
+// sesa-worker processes lease over /v1/fleet/ (lease TTL + heartbeat;
+// expired leases are reassigned, so worker loss costs time, not results).
+// Output is byte-identical to single-host execution of the same sweep:
+//
+//	sesa-serve -addr :8344 -fleet
+//	sesa-worker -coordinator http://localhost:8344 &
+//	sesa-worker -coordinator http://localhost:8344 &
 package main
 
 import (
@@ -29,6 +39,7 @@ import (
 	"syscall"
 	"time"
 
+	"sesa/internal/config"
 	"sesa/internal/serve"
 )
 
@@ -39,6 +50,10 @@ func main() {
 	maxCached := flag.Int("max-cached", serve.DefaultMaxCached, "bound on content-addressed cached job results (negative disables the cache)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-drain bound on SIGTERM/SIGINT before running sweeps are canceled")
 	resultsDir := flag.String("results-dir", "", "flush every finished sweep's results document to this directory as <id>.json")
+	fleetMode := flag.Bool("fleet", false, "coordinator mode: shard sweeps across sesa-worker nodes pulling from /v1/fleet/ instead of simulating locally")
+	fleetBatch := flag.Int("fleet-batch", config.DefaultFleetBatchSize, "jobs per fleet lease batch")
+	fleetTTL := flag.Duration("fleet-lease-ttl", config.DefaultFleetLeaseTTL, "fleet lease TTL; a worker silent this long forfeits its batches")
+	fleetAttempts := flag.Int("fleet-max-attempts", config.DefaultFleetMaxAttempts, "lease attempts before a batch's jobs are failed outright")
 	flag.Parse()
 
 	if *resultsDir != "" {
@@ -48,12 +63,24 @@ func main() {
 		}
 	}
 
-	srv := serve.New(serve.Options{
+	opts := serve.Options{
 		MaxWorkers: *maxWorkers,
 		MaxQueued:  *maxQueued,
 		MaxCached:  *maxCached,
 		ResultsDir: *resultsDir,
-	})
+	}
+	if *fleetMode {
+		opts.Fleet = &config.Fleet{
+			BatchSize:   *fleetBatch,
+			LeaseTTL:    *fleetTTL,
+			MaxAttempts: *fleetAttempts,
+		}
+	}
+	srv, err := serve.NewFleet(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -61,8 +88,13 @@ func main() {
 		os.Exit(1)
 	}
 	hs := &http.Server{Handler: srv.Handler()}
-	fmt.Fprintf(os.Stderr, "sesa-serve: listening on http://%s (workers %d, queue %d)\n",
-		ln.Addr(), *maxWorkers, *maxQueued)
+	if *fleetMode {
+		fmt.Fprintf(os.Stderr, "sesa-serve: coordinating fleet on http://%s (batch %d, lease %s, queue %d)\n",
+			ln.Addr(), *fleetBatch, *fleetTTL, *maxQueued)
+	} else {
+		fmt.Fprintf(os.Stderr, "sesa-serve: listening on http://%s (workers %d, queue %d)\n",
+			ln.Addr(), *maxWorkers, *maxQueued)
+	}
 	go func() {
 		if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {
 			fmt.Fprintln(os.Stderr, err)

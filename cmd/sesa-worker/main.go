@@ -1,0 +1,62 @@
+// Command sesa-worker is a fleet node for sesa-serve's coordinator mode: it
+// registers with a coordinator, leases sweep job batches over /v1/fleet/,
+// simulates them on its local runner pool and streams the results back.
+//
+//	sesa-worker -coordinator http://host:8344 -jobs 8 -name rack3-a
+//
+// Workers are stateless and interchangeable — start as many as you have
+// machines; the coordinator's lease protocol shards work and survives any
+// of them dying. SIGTERM/SIGINT drains gracefully: the worker stops
+// leasing, finishes and reports its in-flight batch, and deregisters so
+// the coordinator requeues immediately instead of waiting out the lease.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"syscall"
+	"time"
+
+	"sesa/internal/fleet"
+)
+
+func main() {
+	coordinator := flag.String("coordinator", "http://localhost:8344", "coordinator base URL (a sesa-serve started with -fleet)")
+	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel simulation workers for each leased batch")
+	name := flag.String("name", "", "worker label in the coordinator's status table (default: hostname)")
+	poll := flag.Duration("poll", 200*time.Millisecond, "idle re-lease interval when the coordinator has no work")
+	flag.Parse()
+
+	label := *name
+	if label == "" {
+		if h, err := os.Hostname(); err == nil {
+			label = h
+		}
+	}
+
+	base := strings.TrimRight(*coordinator, "/")
+	if !strings.HasSuffix(base, "/v1/fleet") {
+		base += "/v1/fleet"
+	}
+	w := fleet.NewWorker(fleet.WorkerOptions{
+		Coordinator: base,
+		Name:        label,
+		Jobs:        *jobs,
+		Poll:        *poll,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Fprintf(os.Stderr, "sesa-worker: %s pulling from %s (jobs %d)\n", label, base, *jobs)
+	if err := w.Run(ctx); err != nil && ctx.Err() == nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "sesa-worker: drained, exiting")
+}

@@ -1,0 +1,316 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"sesa/internal/runner"
+	"sesa/internal/trace"
+)
+
+// WorkerOptions configures a fleet worker.
+type WorkerOptions struct {
+	// Coordinator is the coordinator's fleet base URL, e.g.
+	// "http://host:8344/v1/fleet".
+	Coordinator string
+	// Name labels the worker in the coordinator's status table.
+	Name string
+	// Jobs is the worker's parallel simulation capacity (runner pool size
+	// per batch); 0 means GOMAXPROCS.
+	Jobs int
+	// Poll is the idle re-lease interval when the coordinator has no work;
+	// 0 means 200ms.
+	Poll time.Duration
+	// Client overrides the HTTP client (tests inject httptest clients).
+	Client *http.Client
+}
+
+// Worker is one fleet node: it registers with the coordinator, pulls one
+// batch at a time, fans the batch's jobs across its local runner pool,
+// streams the results back and renews its leases on a heartbeat. The
+// parallelism knob is Jobs — a batch's jobs run concurrently — while
+// batches are pulled one at a time, so a worker's capacity is advertised
+// honestly and lease loss costs at most one batch of work.
+type Worker struct {
+	opts   WorkerOptions
+	client *http.Client
+	base   string
+
+	// hardCtx is the worker's lifetime: Abort (or process death) cancels
+	// it, killing in-flight batch execution without completion or
+	// deregistration — the crash the lease protocol exists to survive.
+	hardCtx  context.Context
+	hardStop context.CancelFunc
+
+	mu       sync.Mutex
+	id       string
+	hbEvery  time.Duration
+	inflight map[string]context.CancelFunc // batch id -> abandon
+
+	// BatchesDone counts batches this worker completed (tests use it).
+	batchesDone int
+}
+
+// NewWorker builds a worker; Run starts it.
+func NewWorker(o WorkerOptions) *Worker {
+	if o.Jobs <= 0 {
+		o.Jobs = runtime.GOMAXPROCS(0)
+	}
+	if o.Poll <= 0 {
+		o.Poll = 200 * time.Millisecond
+	}
+	client := o.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	return &Worker{
+		opts:     o,
+		client:   client,
+		base:     strings.TrimRight(o.Coordinator, "/"),
+		hardCtx:  ctx,
+		hardStop: stop,
+		inflight: make(map[string]context.CancelFunc),
+	}
+}
+
+// Abort kills the worker immediately: in-flight batch execution stops, no
+// completion is reported, no deregistration happens. From the
+// coordinator's view this is indistinguishable from a crash — the worker's
+// leases expire and its batches are reassigned.
+func (w *Worker) Abort() { w.hardStop() }
+
+// BatchesDone reports how many batches this worker has completed.
+func (w *Worker) BatchesDone() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.batchesDone
+}
+
+// Run is the worker's life: register, then lease/execute/complete until ctx
+// is canceled. Cancellation of ctx is the graceful SIGTERM drain — the
+// same contract sesa-serve's own drain has: the worker stops leasing,
+// finishes and reports its in-flight batch, and deregisters so the
+// coordinator immediately requeues anything it would otherwise have to
+// time out. Abort (a crash) skips all of that.
+func (w *Worker) Run(ctx context.Context) error {
+	if err := w.register(ctx); err != nil {
+		return err
+	}
+
+	// Heartbeats run on the hard context: a draining worker must keep its
+	// final batch's lease alive until completion is reported.
+	hbDone := make(chan struct{})
+	hbStop := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		w.heartbeatLoop(hbStop)
+	}()
+	defer func() {
+		close(hbStop)
+		<-hbDone
+	}()
+
+	for ctx.Err() == nil && w.hardCtx.Err() == nil {
+		lease, ok, err := w.lease()
+		if err != nil {
+			// Coordinator unreachable or restarting: back off and retry;
+			// the fabric is pull-based, so patience is the whole story.
+			if !w.sleep(ctx, w.opts.Poll) {
+				break
+			}
+			continue
+		}
+		if !ok {
+			if !w.sleep(ctx, w.opts.Poll) {
+				break
+			}
+			continue
+		}
+		w.runBatch(lease)
+	}
+
+	if w.hardCtx.Err() != nil {
+		return w.hardCtx.Err()
+	}
+	// Graceful exit: hand back anything the coordinator still thinks we
+	// hold (normally nothing — the in-flight batch was completed above).
+	_, err := postJSON(w.client, w.base+"/deregister", DeregisterRequest{WorkerID: w.workerID()}, nil)
+	return err
+}
+
+// register announces the worker, retrying until it succeeds or ctx ends.
+func (w *Worker) register(ctx context.Context) error {
+	req := RegisterRequest{Name: w.opts.Name, Cores: w.opts.Jobs}
+	for {
+		var resp RegisterResponse
+		_, err := postJSON(w.client, w.base+"/register", req, &resp)
+		if err == nil {
+			w.mu.Lock()
+			w.id = resp.WorkerID
+			w.hbEvery = time.Duration(resp.HeartbeatSeconds * float64(time.Second))
+			if w.hbEvery <= 0 {
+				w.hbEvery = time.Second
+			}
+			w.mu.Unlock()
+			return nil
+		}
+		if !w.sleep(ctx, w.opts.Poll) {
+			return fmt.Errorf("fleet: worker never registered: %w", err)
+		}
+	}
+}
+
+func (w *Worker) workerID() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.id
+}
+
+// lease asks for one batch; on errGone the coordinator forgot us (restart),
+// so re-register and retry once.
+func (w *Worker) lease() (LeaseResponse, bool, error) {
+	var resp LeaseResponse
+	ok, err := postJSON(w.client, w.base+"/lease", LeaseRequest{WorkerID: w.workerID()}, &resp)
+	if err == errGone {
+		if rerr := w.register(w.hardCtx); rerr != nil {
+			return LeaseResponse{}, false, rerr
+		}
+		ok, err = postJSON(w.client, w.base+"/lease", LeaseRequest{WorkerID: w.workerID()}, &resp)
+	}
+	return resp, ok && err == nil, err
+}
+
+// runBatch executes one leased batch on the local pool and reports it.
+// Execution runs under the hard context plus a per-batch cancel delivered
+// by heartbeat responses; a canceled batch is abandoned without a
+// completion report (its results would not be deterministic, and the
+// coordinator has already moved on).
+func (w *Worker) runBatch(lease LeaseResponse) {
+	bctx, cancel := context.WithCancel(w.hardCtx)
+	w.mu.Lock()
+	w.inflight[lease.BatchID] = cancel
+	w.mu.Unlock()
+	defer func() {
+		cancel()
+		w.mu.Lock()
+		delete(w.inflight, lease.BatchID)
+		w.mu.Unlock()
+	}()
+
+	jobs := make([]runner.Job, len(lease.Jobs))
+	for k, wj := range lease.Jobs {
+		j, err := wj.Resolve()
+		if err != nil {
+			// The coordinator validated these at submission; failing the
+			// whole batch loudly beats guessing.
+			w.completeError(lease, err)
+			return
+		}
+		jobs[k] = j
+	}
+
+	pool := runner.Pool{Workers: w.opts.Jobs, Cache: trace.Shared()}
+	results, _ := pool.RunContext(bctx, jobs)
+	if bctx.Err() != nil {
+		return // abandoned: crash, drain deadline, or coordinator cancel
+	}
+
+	req := CompleteRequest{
+		WorkerID: w.workerID(),
+		BatchID:  lease.BatchID,
+		Results:  make([]WireResult, len(results)),
+	}
+	for k := range results {
+		wr := EncodeResult(results[k])
+		wr.Index = lease.Start + k // rebase batch-local index to sweep index
+		req.Results[k] = wr
+	}
+	w.complete(req)
+}
+
+// completeError reports every job of the batch as failed with err.
+func (w *Worker) completeError(lease LeaseResponse, err error) {
+	req := CompleteRequest{WorkerID: w.workerID(), BatchID: lease.BatchID}
+	for k := range lease.Jobs {
+		req.Results = append(req.Results, WireResult{Index: lease.Start + k, Error: err.Error()})
+	}
+	w.complete(req)
+}
+
+// complete posts a completion report, retrying transient failures a few
+// times. If it ultimately fails the batch is simply lost to this worker —
+// the lease expires and another worker redoes it, at the price of wasted
+// cycles, never wrong bytes.
+func (w *Worker) complete(req CompleteRequest) {
+	for attempt := 0; attempt < 3; attempt++ {
+		if _, err := postJSON(w.client, w.base+"/complete", req, nil); err == nil {
+			w.mu.Lock()
+			w.batchesDone++
+			w.mu.Unlock()
+			return
+		} else if err == errGone {
+			return // coordinator restarted; our lease is gone with it
+		}
+		if !w.sleep(w.hardCtx, w.opts.Poll) {
+			return
+		}
+	}
+}
+
+// heartbeatLoop renews leases every hbEvery until stopped, applying the
+// coordinator's cancel verdicts to in-flight batches.
+func (w *Worker) heartbeatLoop(stop <-chan struct{}) {
+	for {
+		w.mu.Lock()
+		every := w.hbEvery
+		w.mu.Unlock()
+		if every <= 0 {
+			every = time.Second
+		}
+		select {
+		case <-stop:
+			return
+		case <-w.hardCtx.Done():
+			return
+		case <-time.After(every):
+		}
+		w.mu.Lock()
+		ids := make([]string, 0, len(w.inflight))
+		for id := range w.inflight {
+			ids = append(ids, id)
+		}
+		w.mu.Unlock()
+		var resp HeartbeatResponse
+		ok, err := postJSON(w.client, w.base+"/heartbeat",
+			HeartbeatRequest{WorkerID: w.workerID(), Batches: ids}, &resp)
+		if err != nil || !ok {
+			continue // transient; the lease TTL is the real deadline
+		}
+		w.mu.Lock()
+		for _, id := range resp.Cancel {
+			if cancel := w.inflight[id]; cancel != nil {
+				cancel()
+			}
+		}
+		w.mu.Unlock()
+	}
+}
+
+// sleep waits d or until ctx/hardCtx end; it reports whether the full wait
+// elapsed.
+func (w *Worker) sleep(ctx context.Context, d time.Duration) bool {
+	select {
+	case <-time.After(d):
+		return true
+	case <-ctx.Done():
+		return false
+	case <-w.hardCtx.Done():
+		return false
+	}
+}

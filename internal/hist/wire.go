@@ -1,0 +1,140 @@
+package hist
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Wire encoding.
+//
+// The fleet ships histograms from workers back to the coordinator, and the
+// coordinator merges them exactly as if the jobs had run locally — so the
+// wire form must round-trip a Hist without losing a single bucket count.
+// The encoding is sparse: only non-empty buckets travel, as [index, count]
+// pairs in ascending index order, so a typical latency histogram (a few
+// dozen occupied buckets out of ~1900) costs a few hundred bytes. count,
+// sum, min and max are carried explicitly — min/max are tracked exactly,
+// not derivable from bucket bounds. All fields are uint64 and encoding/json
+// emits and parses integer literals directly, so the round trip is exact
+// over the full range.
+
+// wireHist is the serialized form of a Hist.
+type wireHist struct {
+	Count   uint64      `json:"count"`
+	Sum     uint64      `json:"sum"`
+	Min     uint64      `json:"min"`
+	Max     uint64      `json:"max"`
+	Buckets [][2]uint64 `json:"buckets,omitempty"`
+}
+
+// MarshalJSON encodes the histogram in the sparse wire form.
+func (h *Hist) MarshalJSON() ([]byte, error) {
+	w := wireHist{Count: h.Count(), Sum: h.Sum(), Min: h.Min(), Max: h.Max()}
+	if h != nil {
+		for i, c := range h.counts {
+			if c != 0 {
+				w.Buckets = append(w.Buckets, [2]uint64{uint64(i), c})
+			}
+		}
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON decodes the sparse wire form, replacing the receiver's
+// contents. The decoded histogram is indistinguishable from the one that
+// was encoded: same buckets, same count/sum/min/max, so merges and
+// quantiles behave identically.
+func (h *Hist) UnmarshalJSON(data []byte) error {
+	var w wireHist
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	*h = Hist{count: w.Count, sum: w.Sum, min: w.Min, max: w.Max}
+	for _, b := range w.Buckets {
+		if b[0] >= numBuckets {
+			return fmt.Errorf("hist: wire bucket index %d out of range (max %d)", b[0], numBuckets-1)
+		}
+		h.counts[b[0]] = b[1]
+	}
+	return nil
+}
+
+// metricByName inverts the metric name table for decoding.
+var metricByName = func() map[string]Metric {
+	m := make(map[string]Metric, NumMetrics)
+	for i := Metric(0); i < NumMetrics; i++ {
+		m[i.String()] = i
+	}
+	return m
+}()
+
+// MarshalJSON encodes the collector as a name-keyed object of non-empty
+// histograms. encoding/json sorts map keys, so the bytes are deterministic.
+func (c *Collector) MarshalJSON() ([]byte, error) {
+	out := make(map[string]*Hist)
+	if c != nil {
+		for m := Metric(0); m < NumMetrics; m++ {
+			if h := &c.h[m]; h.Count() > 0 {
+				out[m.String()] = h
+			}
+		}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes a name-keyed collector, replacing the receiver's
+// contents. Unknown metric names are an error: a coordinator and its
+// workers must agree on the instrumented set.
+func (c *Collector) UnmarshalJSON(data []byte) error {
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	*c = Collector{}
+	for name, msg := range raw {
+		m, ok := metricByName[name]
+		if !ok {
+			return fmt.Errorf("hist: unknown wire metric %q", name)
+		}
+		if err := json.Unmarshal(msg, &c.h[m]); err != nil {
+			return fmt.Errorf("hist: metric %q: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// wireSet is the serialized form of a Set.
+type wireSet struct {
+	Cores []*Collector `json:"cores"`
+	Net   *Collector   `json:"net"`
+}
+
+// MarshalJSON encodes the per-core collectors and the interconnect
+// collector.
+func (s *Set) MarshalJSON() ([]byte, error) {
+	if s == nil {
+		return []byte("null"), nil
+	}
+	return json.Marshal(wireSet{Cores: s.cores, Net: s.net})
+}
+
+// UnmarshalJSON decodes a Set, replacing the receiver's contents. The
+// decoded set has the encoded set's shape, so Set.Merge across the wire
+// behaves exactly like a local merge.
+func (s *Set) UnmarshalJSON(data []byte) error {
+	var w wireSet
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	s.cores = w.Cores
+	for i, c := range s.cores {
+		if c == nil {
+			s.cores[i] = NewCollector()
+		}
+	}
+	s.net = w.Net
+	if s.net == nil {
+		s.net = NewCollector()
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package hist
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// fillHist records a deterministic pseudo-random sample stream.
+func fillHist(h *Hist, seed uint64, n int) {
+	x := seed
+	for i := 0; i < n; i++ {
+		// splitmix64 step, then take a value spanning many orders of
+		// magnitude so buckets across the whole range are exercised.
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		h.Record(z >> (z % 60))
+	}
+}
+
+// TestHistWireRoundTrip proves the wire form is lossless: every bucket,
+// count, sum, min and max survives encode/decode, so quantiles and merges
+// are identical on both sides.
+func TestHistWireRoundTrip(t *testing.T) {
+	var h Hist
+	fillHist(&h, 42, 10_000)
+	h.Record(0)
+	h.Record(math.MaxUint64)
+
+	buf, err := json.Marshal(&h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Hist
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != h {
+		t.Fatalf("hist did not round-trip: %+v vs %+v", back.Summarize(), h.Summarize())
+	}
+
+	// Re-encoding the decoded histogram must reproduce the exact bytes —
+	// the coordinator may forward what a worker sent.
+	buf2, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, buf2) {
+		t.Fatalf("re-encoded bytes differ:\n%s\nvs\n%s", buf, buf2)
+	}
+}
+
+func TestHistWireEmpty(t *testing.T) {
+	var h Hist
+	buf, err := json.Marshal(&h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Hist
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != h {
+		t.Fatalf("empty hist did not round-trip: %q", buf)
+	}
+}
+
+func TestHistWireRejectsBadBucket(t *testing.T) {
+	var h Hist
+	if err := json.Unmarshal([]byte(`{"count":1,"buckets":[[999999,1]]}`), &h); err == nil {
+		t.Fatal("out-of-range bucket index accepted")
+	}
+}
+
+// TestSetWireRoundTrip round-trips a full machine set and checks the merged
+// summaries — what the coordinator reports — are identical to the local
+// ones, and that a decoded set merges into an aggregate exactly like the
+// original would have.
+func TestSetWireRoundTrip(t *testing.T) {
+	s := NewSet(4)
+	for i := 0; i < 4; i++ {
+		for m := Metric(0); m < NumMetrics; m += 2 {
+			fillHist(&s.Core(i).h[m], uint64(i)*1000+uint64(m), 500)
+		}
+	}
+	fillHist(&s.Net().h[NoCControl], 7, 300)
+
+	buf, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Set
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Cores() != s.Cores() {
+		t.Fatalf("cores = %d, want %d", back.Cores(), s.Cores())
+	}
+	for i := 0; i < s.Cores(); i++ {
+		if *back.Core(i) != *s.Core(i) {
+			t.Fatalf("core %d collector did not round-trip", i)
+		}
+	}
+	if *back.Net() != *s.Net() {
+		t.Fatal("net collector did not round-trip")
+	}
+
+	// The decoded set must aggregate exactly like the original: merge both
+	// into fresh collectors and compare the full state, not just summaries.
+	local, remote := NewCollector(), NewCollector()
+	local.Merge(s.Merged())
+	remote.Merge(back.Merged())
+	if *local != *remote {
+		t.Fatal("merged collectors differ after wire round-trip")
+	}
+}
+
+func TestCollectorWireRejectsUnknownMetric(t *testing.T) {
+	var c Collector
+	if err := json.Unmarshal([]byte(`{"no-such-metric":{"count":0}}`), &c); err == nil {
+		t.Fatal("unknown metric name accepted")
+	}
+}

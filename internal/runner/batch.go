@@ -1,0 +1,36 @@
+package runner
+
+// Span is one contiguous batch of a sweep's job list: the half-open index
+// range [Start, End). Batches are spans rather than job copies so the
+// decomposition is pure bookkeeping — the coordinator keeps the single
+// authoritative job slice and results land positionally, which is what
+// makes fleet output placement-independent.
+type Span struct {
+	Start, End int
+}
+
+// Len returns the number of jobs in the span.
+func (s Span) Len() int { return s.End - s.Start }
+
+// Decompose splits n jobs into contiguous batches of at most size jobs, in
+// job order. The decomposition is deterministic: it depends only on n and
+// size, never on which workers exist or how fast they are, so the same
+// sweep always produces the same batch set (and therefore the same
+// content-addressed work units). size <= 0 is treated as 1.
+func Decompose(n, size int) []Span {
+	if n <= 0 {
+		return nil
+	}
+	if size <= 0 {
+		size = 1
+	}
+	spans := make([]Span, 0, (n+size-1)/size)
+	for start := 0; start < n; start += size {
+		end := start + size
+		if end > n {
+			end = n
+		}
+		spans = append(spans, Span{Start: start, End: end})
+	}
+	return spans
+}

@@ -173,7 +173,7 @@ func (p Pool) RunContext(ctx context.Context, jobs []Job) ([]Result, report.Swee
 	start := time.Now()
 	results := make([]Result, len(jobs))
 	n := p.workers()
-	p.Progress.begin(len(jobs))
+	p.Progress.Begin(len(jobs))
 	if n <= 1 || len(jobs) <= 1 {
 		for i := range jobs {
 			results[i] = p.runJob(ctx, i, jobs[i])
@@ -210,12 +210,12 @@ func (p Pool) runJob(ctx context.Context, i int, j Job) Result {
 		}
 		r := Result{Job: j, Index: i,
 			Err: fmt.Errorf("runner: sweep canceled before job ran: %w", err)}
-		p.Progress.jobDone(&r)
+		p.Progress.JobDone(&r)
 		return r
 	}
-	p.Progress.jobStarted(i, j.Name())
+	p.Progress.JobStarted(i, j.Name())
 	r := p.runOne(ctx, i, j)
-	p.Progress.jobDone(&r)
+	p.Progress.JobDone(&r)
 	return r
 }
 

@@ -37,6 +37,31 @@ type Progress struct {
 	rates    []JobThroughput
 	merged   *hist.Collector
 	hists    bool
+	fleet    func() []WorkerStatus
+}
+
+// WorkerStatus is one fleet worker's row in the /status report: how much
+// work the coordinator has entrusted to it and what came back. The runner
+// defines the type (the fleet coordinator fills it via AttachFleet) so the
+// status surface stays in one package.
+type WorkerStatus struct {
+	ID   string `json:"id"`
+	Name string `json:"name,omitempty"`
+	// Cores is the worker's advertised parallel job capacity.
+	Cores int `json:"cores"`
+	// Leased counts batches currently held under lease; Completed, Failed
+	// and Retried are cumulative: batches the worker finished, leases it
+	// lost to expiry, and re-leased batches (a prior holder lost them) it
+	// picked up.
+	Leased    int `json:"leased"`
+	Completed int `json:"completed"`
+	Failed    int `json:"failed"`
+	Retried   int `json:"retried"`
+	// LastHeartbeatSeconds is the age of the worker's most recent
+	// register/lease/heartbeat/complete call.
+	LastHeartbeatSeconds float64 `json:"last_heartbeat_seconds"`
+	// Draining marks a worker that announced it is deregistering.
+	Draining bool `json:"draining,omitempty"`
 }
 
 // JobThroughput is one completed job's host-side simulation throughput.
@@ -87,6 +112,9 @@ type Snapshot struct {
 	InstsPerSecond  float64 `json:"insts_per_second"`
 	// Jobs lists each completed job's individual throughput, in job order.
 	Jobs []JobThroughput `json:"job_throughput,omitempty"`
+	// FleetWorkers lists the coordinator's per-worker rows when the sweep
+	// runs on a fleet (absent for local sweeps).
+	FleetWorkers []WorkerStatus `json:"fleet_workers,omitempty"`
 }
 
 // NewProgress returns an empty progress tracker to hand to Pool.Progress
@@ -95,9 +123,23 @@ func NewProgress() *Progress {
 	return &Progress{running: make(map[int]string), merged: hist.NewCollector()}
 }
 
-// begin resets the tracker for a sweep of n jobs. Sequential sweeps may reuse
-// one tracker; counters accumulate only within a sweep.
-func (p *Progress) begin(n int) {
+// AttachFleet installs a per-worker status source (the fleet coordinator's
+// worker table); Snapshot includes its rows as FleetWorkers. Attach before
+// the sweep starts — the callback is invoked outside the progress lock.
+func (p *Progress) AttachFleet(fn func() []WorkerStatus) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.fleet = fn
+}
+
+// Begin resets the tracker for a sweep of n jobs. Sequential sweeps may reuse
+// one tracker; counters accumulate only within a sweep. The pool calls it at
+// the top of RunContext; a fleet coordinator, which distributes jobs instead
+// of running them through a pool, calls it (and JobStarted/JobDone) itself.
+func (p *Progress) Begin(n int) {
 	if p == nil {
 		return
 	}
@@ -115,8 +157,9 @@ func (p *Progress) begin(n int) {
 	p.hists = false
 }
 
-// jobStarted records that job i is now running.
-func (p *Progress) jobStarted(i int, name string) {
+// JobStarted records that job i is now running (for a fleet sweep: leased
+// to a worker).
+func (p *Progress) JobStarted(i int, name string) {
 	if p == nil {
 		return
 	}
@@ -125,8 +168,8 @@ func (p *Progress) jobStarted(i int, name string) {
 	p.running[i] = name
 }
 
-// jobDone folds a completed job into the aggregates.
-func (p *Progress) jobDone(r *Result) {
+// JobDone folds a completed job into the aggregates.
+func (p *Progress) JobDone(r *Result) {
 	if p == nil {
 		return
 	}
@@ -206,6 +249,14 @@ func (p *Progress) Snapshot() Snapshot {
 	}
 	s.Jobs = append([]JobThroughput(nil), p.rates...)
 	sort.Slice(s.Jobs, func(a, b int) bool { return s.Jobs[a].Index < s.Jobs[b].Index })
+	fleet := p.fleet
+	if fleet != nil {
+		// The worker table has its own lock; release ours first.
+		p.mu.Unlock()
+		rows := fleet()
+		p.mu.Lock()
+		s.FleetWorkers = rows
+	}
 	return s
 }
 

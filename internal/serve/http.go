@@ -156,6 +156,11 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/status", sh)
 	mux.Handle("/histograms", sh)
 	mux.Handle("/debug/", sh)
+	if s.fleet != nil {
+		// Coordinator mode: the worker protocol (register/lease/heartbeat/
+		// complete/deregister) plus GET /v1/fleet/workers status rows.
+		mux.Handle("/v1/fleet/", http.StripPrefix("/v1/fleet", s.fleet.Handler()))
+	}
 	return mux
 }
 

@@ -36,6 +36,8 @@ import (
 	"sync"
 	"time"
 
+	"sesa/internal/config"
+	"sesa/internal/fleet"
 	"sesa/internal/report"
 	"sesa/internal/runner"
 	"sesa/internal/trace"
@@ -62,6 +64,13 @@ type Options struct {
 	// ResultsDir, when non-empty, receives one <id>.json results document
 	// per finished sweep — the flush half of graceful drain.
 	ResultsDir string
+	// Fleet, when non-nil, turns the daemon into a fleet coordinator:
+	// non-cached jobs are decomposed into batches and executed by remote
+	// workers pulling leases from /v1/fleet/ instead of the local runner
+	// pool. Results are byte-identical either way — jobs are deterministic
+	// and results land positionally — so flipping this changes capacity,
+	// never output.
+	Fleet *config.Fleet
 }
 
 // sweepState is the lifecycle of one submitted sweep.
@@ -99,10 +108,11 @@ type sweep struct {
 }
 
 // Server is the sweep-as-a-service daemon state: admission queue, dispatcher,
-// result cache.
+// result cache, and — in fleet mode — the batch coordinator.
 type Server struct {
 	opts  Options
 	cache *resultCache
+	fleet *fleet.Coordinator // nil in single-host mode
 
 	// lifeCtx parents every sweep's run context; Close cancels it.
 	lifeCtx  context.Context
@@ -125,14 +135,34 @@ type Server struct {
 // listener; mount Handler on it. Shut down with Drain (graceful) or Close
 // (immediate).
 func New(o Options) *Server {
+	s, err := NewFleet(o)
+	if err != nil {
+		// Only fleet options can fail validation; plain servers cannot
+		// reach this.
+		panic(err)
+	}
+	return s
+}
+
+// NewFleet is New with fleet-option validation surfaced (New panics on bad
+// fleet parameters; the CLI wants the error).
+func NewFleet(o Options) (*Server, error) {
 	if o.MaxQueued == 0 {
 		o.MaxQueued = DefaultMaxQueued
 	}
 	if o.MaxCached == 0 {
 		o.MaxCached = DefaultMaxCached
 	}
+	var coord *fleet.Coordinator
+	if o.Fleet != nil {
+		var err error
+		if coord, err = fleet.NewCoordinator(*o.Fleet); err != nil {
+			return nil, err
+		}
+	}
 	ctx, stop := context.WithCancelCause(context.Background())
 	s := &Server{
+		fleet:    coord,
 		opts:     o,
 		cache:    newResultCache(o.MaxCached),
 		lifeCtx:  ctx,
@@ -142,7 +172,7 @@ func New(o Options) *Server {
 	}
 	s.wg.Add(1)
 	go s.dispatch()
-	return s
+	return s, nil
 }
 
 // submit admits a resolved sweep: either completes it synchronously when
@@ -190,6 +220,9 @@ func (s *Server) submit(title string, jobs []runner.Job) (*sweep, error) {
 		keys:     keys,
 		progress: runner.NewProgress(),
 		done:     make(chan struct{}),
+	}
+	if s.fleet != nil {
+		sw.progress.AttachFleet(s.fleet.WorkerStatus)
 	}
 	sw.id = s.nextIDLocked()
 	s.sweeps[sw.id] = sw
@@ -318,13 +351,36 @@ func (s *Server) runSweep(sw *sweep) {
 
 	workers := s.opts.MaxWorkers
 	if len(toRun) > 0 {
-		pool := runner.Pool{Workers: workers, Cache: trace.Shared(), Progress: sw.progress}
-		ran, _ := pool.RunContext(ctx, toRun)
+		var ran []runner.Result
+		if s.fleet != nil {
+			// Fleet mode: the coordinator leases batches to remote workers.
+			// Dedup already happened above — cached jobs never dispatch —
+			// and completions stream into the cache as they settle, so a
+			// second sweep overlapping this one hits on the finished jobs.
+			var ferr error
+			ran, ferr = s.fleet.RunJobs(ctx, sw.id, toRun, sw.progress,
+				func(k int, r runner.Result) {
+					if !fleet.IsAbandoned(r.Err) {
+						s.cache.put(sw.keys[toRunIdx[k]], r)
+					}
+				})
+			if ferr != nil {
+				ran = make([]runner.Result, len(toRun))
+				for k, j := range toRun {
+					ran[k] = runner.Result{Job: j, Index: k, Err: ferr}
+				}
+			}
+		} else {
+			pool := runner.Pool{Workers: workers, Cache: trace.Shared(), Progress: sw.progress}
+			ran, _ = pool.RunContext(ctx, toRun)
+		}
 		for k, r := range ran {
 			i := toRunIdx[k]
 			r.Index = i
 			results[i] = r
-			s.cache.put(sw.keys[i], r)
+			if s.fleet == nil {
+				s.cache.put(sw.keys[i], r)
+			}
 		}
 	}
 
@@ -537,4 +593,7 @@ func (s *Server) stop() {
 	s.lifeStop(errors.New("serve: server stopped"))
 	s.nudge()
 	s.wg.Wait()
+	if s.fleet != nil {
+		s.fleet.Close()
+	}
 }
