@@ -15,12 +15,15 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"runtime"
 
 	"sesa"
+	"sesa/internal/config"
 	"sesa/internal/report"
 	"sesa/internal/stats"
+	"sesa/internal/telemetry"
 )
 
 var (
@@ -108,9 +111,16 @@ func benchmarkJobs(profiles []sesa.Profile, models []sesa.Model) []sesa.SweepJob
 func main() {
 	table := flag.Int("table", 0, "regenerate a table (1-4)")
 	fig := flag.Int("fig", 0, "regenerate a figure (1-5, 9, 10)")
+	logFlags := config.TelemetryFlags()
 	flag.Parse()
 
-	var err error
+	logger, err := telemetry.NewLogger(os.Stderr, logFlags.LogLevel, logFlags.LogFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	slog.SetDefault(logger.With(telemetry.KeyComponent, "sesa-bench"))
+
 	if stepMode, err = sesa.ParseStepMode(*stepModeName); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -123,7 +133,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "status: http://%s/status\n", addr)
+		slog.Info("status endpoints up", "addr", "http://"+addr+"/status")
 	}
 
 	switch {

@@ -9,11 +9,14 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strings"
 
 	"sesa"
+	"sesa/internal/config"
+	"sesa/internal/telemetry"
 )
 
 // modelPair cross-validates one operational model against its axiomatic
@@ -34,7 +37,15 @@ func main() {
 	testName := flag.String("test", "", "litmus test name or comma-separated list (default: all)")
 	alloyDir := flag.String("export-alloy", "", "also write each selected test as a memalloy-style candidate-execution module (<name>.als) into this directory")
 	stepModeName := flag.String("step-mode", "skip", "accepted for CLI uniformity with the simulator binaries; the exhaustive checker is untimed, so the value has no effect")
+	logFlags := config.TelemetryFlags()
 	flag.Parse()
+
+	logger, err := telemetry.NewLogger(os.Stderr, logFlags.LogLevel, logFlags.LogFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	slog.SetDefault(logger.With(telemetry.KeyComponent, "sesa-check"))
 
 	if _, err := sesa.ParseStepMode(*stepModeName); err != nil {
 		fmt.Fprintln(os.Stderr, err)

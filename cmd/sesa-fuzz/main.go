@@ -24,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -31,6 +32,8 @@ import (
 	"strings"
 
 	"sesa"
+	"sesa/internal/config"
+	"sesa/internal/telemetry"
 )
 
 type options struct {
@@ -64,7 +67,14 @@ func main() {
 	alloyDir := flag.String("export-alloy", "", "write a memalloy-style candidate-execution module per program into this directory")
 	stepModeName := flag.String("step-mode", "skip", "simulation clock for witness runs: skip (two-level, default) or naive")
 	listModels := flag.Bool("list-models", false, "print the valid machine-model names and exit")
+	logFlags := config.TelemetryFlags()
 	flag.Parse()
+
+	logger, lerr := telemetry.NewLogger(os.Stderr, logFlags.LogLevel, logFlags.LogFormat)
+	if lerr != nil {
+		fatal(lerr)
+	}
+	slog.SetDefault(logger.With(telemetry.KeyComponent, "sesa-fuzz"))
 
 	if *listModels {
 		fmt.Println(strings.Join(sesa.ModelNames(), "\n"))

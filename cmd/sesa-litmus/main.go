@@ -15,11 +15,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"sort"
 	"strings"
 
 	"sesa"
+	"sesa/internal/config"
+	"sesa/internal/telemetry"
 )
 
 func main() {
@@ -36,8 +39,16 @@ func main() {
 	histOut := flag.String("hist-out", "", "write latency-distribution histograms to this file (empty with -hist-format set = stdout)")
 	histFormat := flag.String("hist-format", "", "histogram format, text or json; setting it (or -hist-out) enables histogram collection")
 	stepModeName := flag.String("step-mode", "skip", "clock stepper: skip (two-level, default) or naive (tick every cycle); outputs are byte-identical")
+	logFlags := config.TelemetryFlags()
 	flag.Parse()
 	wantHists := *histOut != "" || *histFormat != ""
+
+	logger, err := telemetry.NewLogger(os.Stderr, logFlags.LogLevel, logFlags.LogFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	slog.SetDefault(logger.With(telemetry.KeyComponent, "sesa-litmus"))
 
 	stepMode, err := sesa.ParseStepMode(*stepModeName)
 	if err != nil {

@@ -25,6 +25,12 @@
 //	sesa-serve -addr :8344 -fleet
 //	sesa-worker -coordinator http://localhost:8344 &
 //	sesa-worker -coordinator http://localhost:8344 &
+//
+// Telemetry: -log-level/-log-format control the structured log on stderr,
+// GET /metrics serves the lease-lifecycle and sweep-throughput counters in
+// Prometheus text format, and GET /v1/sweeps/{id}/timeline exports a
+// sweep's distributed span timeline as Chrome-trace JSON (open it in
+// ui.perfetto.dev).
 package main
 
 import (
@@ -41,6 +47,7 @@ import (
 
 	"sesa/internal/config"
 	"sesa/internal/serve"
+	"sesa/internal/telemetry"
 )
 
 func main() {
@@ -54,11 +61,19 @@ func main() {
 	fleetBatch := flag.Int("fleet-batch", config.DefaultFleetBatchSize, "jobs per fleet lease batch")
 	fleetTTL := flag.Duration("fleet-lease-ttl", config.DefaultFleetLeaseTTL, "fleet lease TTL; a worker silent this long forfeits its batches")
 	fleetAttempts := flag.Int("fleet-max-attempts", config.DefaultFleetMaxAttempts, "lease attempts before a batch's jobs are failed outright")
+	logFlags := config.TelemetryFlags()
 	flag.Parse()
+
+	logger, err := telemetry.NewLogger(os.Stderr, logFlags.LogLevel, logFlags.LogFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	log := logger.With("component", "sesa-serve")
 
 	if *resultsDir != "" {
 		if err := os.MkdirAll(*resultsDir, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			log.Error("creating results directory failed", "error", err)
 			os.Exit(1)
 		}
 	}
@@ -68,6 +83,7 @@ func main() {
 		MaxQueued:  *maxQueued,
 		MaxCached:  *maxCached,
 		ResultsDir: *resultsDir,
+		Telemetry:  &telemetry.T{Log: logger, Metrics: telemetry.NewRegistry()},
 	}
 	if *fleetMode {
 		opts.Fleet = &config.Fleet{
@@ -78,26 +94,26 @@ func main() {
 	}
 	srv, err := serve.NewFleet(opts)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		log.Error("invalid server options", "error", err)
 		os.Exit(1)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		log.Error("listen failed", "error", err)
 		os.Exit(1)
 	}
 	hs := &http.Server{Handler: srv.Handler()}
 	if *fleetMode {
-		fmt.Fprintf(os.Stderr, "sesa-serve: coordinating fleet on http://%s (batch %d, lease %s, queue %d)\n",
-			ln.Addr(), *fleetBatch, *fleetTTL, *maxQueued)
+		log.Info("coordinating fleet", "addr", "http://"+ln.Addr().String(),
+			"batch", *fleetBatch, "lease_ttl", fleetTTL.String(), "max_queued", *maxQueued)
 	} else {
-		fmt.Fprintf(os.Stderr, "sesa-serve: listening on http://%s (workers %d, queue %d)\n",
-			ln.Addr(), *maxWorkers, *maxQueued)
+		log.Info("listening", "addr", "http://"+ln.Addr().String(),
+			"max_workers", *maxWorkers, "max_queued", *maxQueued)
 	}
 	go func() {
 		if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {
-			fmt.Fprintln(os.Stderr, err)
+			log.Error("http server failed", "error", err)
 			os.Exit(1)
 		}
 	}()
@@ -106,12 +122,12 @@ func main() {
 	<-ctx.Done()
 	stop()
 
-	fmt.Fprintf(os.Stderr, "sesa-serve: draining (up to %s)\n", *drainTimeout)
+	log.Info("draining", "timeout", drainTimeout.String())
 	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	srv.Drain(dctx)
 	cancel()
 	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	_ = hs.Shutdown(sctx)
 	cancel()
-	fmt.Fprintln(os.Stderr, "sesa-serve: drained, exiting")
+	log.Info("drained, exiting")
 }

@@ -14,10 +14,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"runtime"
 
 	"sesa"
+	"sesa/internal/config"
+	"sesa/internal/telemetry"
 )
 
 func main() {
@@ -38,8 +41,16 @@ func main() {
 	histFormat := flag.String("hist-format", "", "histogram format, text or json; setting it (or -hist-out) enables histogram collection")
 	statusAddr := flag.String("status-addr", "", "serve live sweep status, expvar and pprof on this address (e.g. localhost:6060)")
 	stepModeName := flag.String("step-mode", "skip", "clock stepper: skip (two-level, default) or naive (tick every cycle); outputs are byte-identical")
+	logFlags := config.TelemetryFlags()
 	flag.Parse()
 	wantHists := *histOut != "" || *histFormat != ""
+
+	logger, err := telemetry.NewLogger(os.Stderr, logFlags.LogLevel, logFlags.LogFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	slog.SetDefault(logger.With(telemetry.KeyComponent, "sesa-sim"))
 
 	stepMode, err := sesa.ParseStepMode(*stepModeName)
 	if err != nil {
@@ -139,7 +150,7 @@ func main() {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
-			fmt.Fprintf(os.Stderr, "status: http://%s/status\n", addr)
+			slog.Info("status endpoints up", "addr", "http://"+addr+"/status")
 		}
 		js := make([]sesa.SweepJob, len(models))
 		for i, model := range models {

@@ -9,12 +9,19 @@
 // of them dying. SIGTERM/SIGINT drains gracefully: the worker stops
 // leasing, finishes and reports its in-flight batch, and deregisters so
 // the coordinator requeues immediately instead of waiting out the lease.
+//
+// With -status-addr the worker serves its own observability surface, in
+// parity with every other sesa process: GET /metrics (lease and batch
+// counters in Prometheus text format), /debug/pprof and /healthz.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -22,7 +29,9 @@ import (
 	"syscall"
 	"time"
 
+	"sesa/internal/config"
 	"sesa/internal/fleet"
+	"sesa/internal/telemetry"
 )
 
 func main() {
@@ -30,7 +39,16 @@ func main() {
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel simulation workers for each leased batch")
 	name := flag.String("name", "", "worker label in the coordinator's status table (default: hostname)")
 	poll := flag.Duration("poll", 200*time.Millisecond, "idle re-lease interval when the coordinator has no work")
+	statusAddr := flag.String("status-addr", "", "serve /metrics, /debug/pprof and /healthz on this address (\":0\" picks a free port)")
+	logFlags := config.TelemetryFlags()
 	flag.Parse()
+
+	logger, err := telemetry.NewLogger(os.Stderr, logFlags.LogLevel, logFlags.LogFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	log := logger.With("component", "sesa-worker")
 
 	label := *name
 	if label == "" {
@@ -43,20 +61,43 @@ func main() {
 	if !strings.HasSuffix(base, "/v1/fleet") {
 		base += "/v1/fleet"
 	}
+	reg := telemetry.NewRegistry()
 	w := fleet.NewWorker(fleet.WorkerOptions{
 		Coordinator: base,
 		Name:        label,
 		Jobs:        *jobs,
 		Poll:        *poll,
+		Tel:         &telemetry.T{Log: logger, Metrics: reg},
 	})
+
+	if *statusAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("GET /metrics", reg.Handler())
+		mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprintln(w, "ok")
+		})
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		ln, err := net.Listen("tcp", *statusAddr)
+		if err != nil {
+			log.Error("status listener failed", "error", err)
+			os.Exit(1)
+		}
+		go func() { _ = http.Serve(ln, mux) }()
+		log.Info("status endpoints up", "addr", "http://"+ln.Addr().String())
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	fmt.Fprintf(os.Stderr, "sesa-worker: %s pulling from %s (jobs %d)\n", label, base, *jobs)
+	log.Info("pulling from coordinator", "worker", label, "coordinator", base, "jobs", *jobs)
 	if err := w.Run(ctx); err != nil && ctx.Err() == nil {
-		fmt.Fprintln(os.Stderr, err)
+		log.Error("worker failed", "error", err)
 		os.Exit(1)
 	}
-	fmt.Fprintln(os.Stderr, "sesa-worker: drained, exiting")
+	log.Info("drained, exiting")
 }

@@ -3,12 +3,14 @@ package fleet
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 	"time"
 
 	"sesa/internal/config"
 	"sesa/internal/runner"
+	"sesa/internal/telemetry"
 )
 
 // ErrUnknownWorker rejects a request carrying a worker id the coordinator
@@ -30,18 +32,21 @@ type run struct {
 	closed   bool          // finished has been (or is being) closed
 	finished chan struct{} // closed when left reaches 0 (or the run is canceled)
 	progress *runner.Progress
+	timeline *telemetry.Timeline // nil-safe; spans of the sweep's fleet life
 	onResult func(i int, r runner.Result)
 }
 
 // batch is one lease unit: a contiguous span of a run's job list.
 type batch struct {
-	id       string
-	run      *run
-	span     runner.Span
-	attempts int    // times leased so far
-	worker   string // current holder ("" while pending)
-	expires  time.Time
-	canceled bool
+	id         string
+	run        *run
+	span       runner.Span
+	attempts   int    // times leased so far
+	worker     string // current holder ("" while pending)
+	workerName string // holder's -name label (survives holder deletion, for telemetry)
+	leasedAt   time.Time
+	expires    time.Time
+	canceled   bool
 }
 
 // settled reports whether every job in the span already has a result
@@ -74,6 +79,8 @@ type workerState struct {
 // interleave their batches in the pending queue).
 type Coordinator struct {
 	opts config.Fleet
+	log  *slog.Logger        // never nil (telemetry.Discard when unset)
+	reg  *telemetry.Registry // nil-safe no-op when unset
 
 	mu      sync.Mutex
 	workers map[string]*workerState
@@ -89,21 +96,86 @@ type Coordinator struct {
 }
 
 // NewCoordinator builds a coordinator and starts its lease-expiry scanner.
-func NewCoordinator(opts config.Fleet) (*Coordinator, error) {
+// tel (may be nil) supplies the structured logger and the metrics registry
+// the lease-lifecycle counters land in.
+func NewCoordinator(opts config.Fleet, tel *telemetry.T) (*Coordinator, error) {
 	opts = opts.WithDefaults()
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
 	c := &Coordinator{
 		opts:    opts,
+		log:     tel.Component("fleet.coordinator"),
+		reg:     tel.Registry(),
 		workers: make(map[string]*workerState),
 		runs:    make(map[string]*run),
 		batches: make(map[string]*batch),
 		stop:    make(chan struct{}),
 	}
+	c.registerGauges()
 	c.wg.Add(1)
 	go c.expiryLoop()
 	return c, nil
+}
+
+// registerGauges installs the scrape-time families derived from live
+// coordinator state: queue depth, in-flight jobs, registered workers and
+// per-worker heartbeat age. They cost nothing until /metrics is read.
+func (c *Coordinator) registerGauges() {
+	c.reg.GaugeFunc("sesa_fleet_queue_depth",
+		"Lease batches waiting to be granted.", func() []telemetry.Sample {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return []telemetry.Sample{{Value: float64(len(c.pending))}}
+		})
+	c.reg.GaugeFunc("sesa_fleet_inflight_jobs",
+		"Jobs inside currently leased batches that have no result yet.", func() []telemetry.Sample {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			n := 0
+			for _, b := range c.batches {
+				if b.worker == "" || b.canceled {
+					continue
+				}
+				for i := b.span.Start; i < b.span.End; i++ {
+					if !b.run.jobDone[i] {
+						n++
+					}
+				}
+			}
+			return []telemetry.Sample{{Value: float64(n)}}
+		})
+	c.reg.GaugeFunc("sesa_fleet_workers",
+		"Currently registered fleet workers.", func() []telemetry.Sample {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return []telemetry.Sample{{Value: float64(len(c.workers))}}
+		})
+	c.reg.GaugeFunc("sesa_fleet_worker_heartbeat_age_seconds",
+		"Seconds since each worker's last register/lease/heartbeat/complete call.",
+		func() []telemetry.Sample {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			now := time.Now()
+			out := make([]telemetry.Sample, 0, len(c.workers))
+			for _, w := range c.workers {
+				out = append(out, telemetry.Sample{
+					Labels: [][2]string{{"worker", w.name}},
+					Value:  now.Sub(w.lastSeen).Seconds(),
+				})
+			}
+			return out
+		})
+}
+
+// counter is the event-time increment helper: per-worker series are labeled
+// with the worker's -name label (stable across re-registration), not the
+// minted id, so a restarted worker keeps its series.
+func (c *Coordinator) counter(name, help, workerName string) *telemetry.Counter {
+	if workerName == "" {
+		return c.reg.Counter(name, help)
+	}
+	return c.reg.Counter(name, help, "worker", workerName)
 }
 
 // Options returns the effective fleet parameters.
@@ -154,6 +226,16 @@ func (c *Coordinator) expire(now time.Time) {
 			delete(w.leased, id)
 			w.failed++
 		}
+		c.counter("sesa_fleet_leases_expired_total",
+			"Leases forfeited by TTL expiry without renewal.", b.workerName).Inc()
+		b.run.timeline.Add(telemetry.Span{
+			Name: telemetry.StageExpired, Cat: "coordinator", Batch: b.id,
+			Worker: b.workerName, Attempt: b.attempts,
+			Start: b.leasedAt, Dur: now.Sub(b.leasedAt),
+		})
+		c.log.Warn("lease expired, requeueing batch",
+			telemetry.KeySweep, b.run.id, telemetry.KeyBatch, b.id,
+			telemetry.KeyWorker, b.workerName, telemetry.KeyAttempt, b.attempts)
 		b.worker = ""
 		notify = append(notify, c.requeueLocked(b)...)
 	}
@@ -171,6 +253,11 @@ func (c *Coordinator) requeueLocked(b *batch) []func() {
 		return nil
 	}
 	if b.attempts >= c.opts.MaxAttempts {
+		c.reg.Counter("sesa_fleet_batches_abandoned_total",
+			"Batches failed outright after exhausting their lease attempts.").Inc()
+		c.log.Error("batch abandoned after exhausting lease attempts",
+			telemetry.KeySweep, b.run.id, telemetry.KeyBatch, b.id,
+			telemetry.KeyAttempt, b.attempts)
 		return c.failBatchLocked(b, &AbandonedError{Batch: b.id, Attempts: b.attempts})
 	}
 	// Front of the queue: a reassigned batch is the sweep's oldest
@@ -222,10 +309,14 @@ func (c *Coordinator) settleJobLocked(r *run, i int, res runner.Result) []func()
 // the same contract as runner.Pool.RunContext: results[i] depends only on
 // jobs[i], so output is byte-identical to a local run. progress (may be
 // nil) is driven exactly like a local pool would: Begin now, JobStarted at
-// lease time, JobDone per completion. onResult (may be nil) fires once per
-// settled job, in completion order — the coordinator's cache hook.
+// lease time, JobDone per completion. tl (may be nil) receives the sweep's
+// fleet timeline: shard/lease/report spans recorded here plus the
+// worker-execute and per-job spans shipped back in completion reports.
+// onResult (may be nil) fires once per settled job, in completion order —
+// the coordinator's cache hook.
 func (c *Coordinator) RunJobs(ctx context.Context, sweepID string, jobs []runner.Job,
-	progress *runner.Progress, onResult func(i int, r runner.Result)) ([]runner.Result, error) {
+	progress *runner.Progress, tl *telemetry.Timeline,
+	onResult func(i int, r runner.Result)) ([]runner.Result, error) {
 	wire := make([]WireJob, len(jobs))
 	for i, j := range jobs {
 		w, err := EncodeJob(j)
@@ -244,21 +335,31 @@ func (c *Coordinator) RunJobs(ctx context.Context, sweepID string, jobs []runner
 		left:     len(jobs),
 		finished: make(chan struct{}),
 		progress: progress,
+		timeline: tl,
 		onResult: onResult,
 	}
+	shardStart := time.Now()
 	c.mu.Lock()
 	if _, dup := c.runs[sweepID]; dup {
 		c.mu.Unlock()
 		return nil, fmt.Errorf("fleet: sweep %s already running", sweepID)
 	}
 	c.runs[sweepID] = r
+	batches := 0
 	for _, sp := range runner.Decompose(len(jobs), c.opts.BatchSize) {
 		c.bseq++
 		b := &batch{id: fmt.Sprintf("b-%06d", c.bseq), run: r, span: sp}
 		c.batches[b.id] = b
 		c.pending = append(c.pending, b)
+		batches++
 	}
 	c.mu.Unlock()
+	tl.Add(telemetry.Span{
+		Name: telemetry.StageShard, Cat: "coordinator",
+		Start: shardStart, Dur: time.Since(shardStart),
+	})
+	c.log.Info("sweep sharded across fleet",
+		telemetry.KeySweep, sweepID, "jobs", len(jobs), "batches", batches)
 
 	if len(jobs) == 0 {
 		close(r.finished)
@@ -312,6 +413,7 @@ func (c *Coordinator) cancelRun(r *run, ctx context.Context) {
 		notify = append(notify, func() { close(done) })
 	}
 	c.mu.Unlock()
+	c.log.Info("sweep canceled, dropping its batches", telemetry.KeySweep, r.id)
 	for _, fn := range notify {
 		fn()
 	}
@@ -355,6 +457,10 @@ func (c *Coordinator) Register(req RegisterRequest) RegisterResponse {
 		lastSeen: time.Now(),
 	}
 	c.workers[w.id] = w
+	c.reg.Counter("sesa_fleet_registrations_total",
+		"Worker registrations accepted (re-registrations included).").Inc()
+	c.log.Info("worker registered",
+		telemetry.KeyWorker, w.name, "worker_id", w.id, "cores", w.cores)
 	return RegisterResponse{
 		WorkerID:         w.id,
 		LeaseSeconds:     c.opts.LeaseTTL.Seconds(),
@@ -396,8 +502,16 @@ func (c *Coordinator) Lease(req LeaseRequest) (LeaseResponse, bool, error) {
 	}
 	b.attempts++
 	b.worker = w.id
-	b.expires = time.Now().Add(c.opts.LeaseTTL)
+	b.workerName = w.name
+	b.leasedAt = time.Now()
+	b.expires = b.leasedAt.Add(c.opts.LeaseTTL)
 	w.leased[b.id] = b
+	c.counter("sesa_fleet_leases_granted_total",
+		"Lease batches granted to workers.", w.name).Inc()
+	c.log.Debug("lease granted",
+		telemetry.KeySweep, b.run.id, telemetry.KeyBatch, b.id,
+		telemetry.KeyWorker, w.name, telemetry.KeyAttempt, b.attempts,
+		"jobs", b.span.Len())
 	resp := LeaseResponse{
 		BatchID: b.id,
 		SweepID: b.run.id,
@@ -432,6 +546,8 @@ func (c *Coordinator) Heartbeat(req HeartbeatRequest) (HeartbeatResponse, error)
 			continue
 		}
 		b.expires = time.Now().Add(c.opts.LeaseTTL)
+		c.counter("sesa_fleet_leases_renewed_total",
+			"Lease renewals applied by worker heartbeats.", w.name).Inc()
 	}
 	return resp, nil
 }
@@ -441,6 +557,7 @@ func (c *Coordinator) Heartbeat(req HeartbeatRequest) (HeartbeatResponse, error)
 // dropped — both copies are byte-identical, so dropping loses nothing. A
 // batch the coordinator no longer tracks is acknowledged as a duplicate.
 func (c *Coordinator) Complete(req CompleteRequest) (CompleteResponse, error) {
+	reportStart := time.Now()
 	c.mu.Lock()
 	w := c.workers[req.WorkerID]
 	if w == nil {
@@ -451,6 +568,8 @@ func (c *Coordinator) Complete(req CompleteRequest) (CompleteResponse, error) {
 	b := c.batches[req.BatchID]
 	if b == nil {
 		c.mu.Unlock()
+		c.counter("sesa_fleet_duplicate_completions_total",
+			"Completion reports for batches already settled or released.", w.name).Inc()
 		return CompleteResponse{Duplicate: true}, nil
 	}
 	if b.worker == w.id {
@@ -463,6 +582,7 @@ func (c *Coordinator) Complete(req CompleteRequest) (CompleteResponse, error) {
 		return CompleteResponse{}, nil
 	}
 	accepted := 0
+	failed := 0
 	dup := b.settled()
 	var notify []func()
 	for _, wr := range req.Results {
@@ -483,12 +603,54 @@ func (c *Coordinator) Complete(req CompleteRequest) (CompleteResponse, error) {
 			continue
 		}
 		accepted++
+		if res.Err != nil {
+			failed++
+		}
 		notify = append(notify, c.settleJobLocked(r, i, res)...)
 	}
 	if accepted > 0 {
 		w.completed++
 	}
+	tl, anchor, attempt := r.timeline, b.leasedAt, b.attempts
+	batchID, sweepID, workerName := b.id, r.id, w.name
 	c.mu.Unlock()
+
+	if accepted > 0 {
+		c.counter("sesa_fleet_batches_completed_total",
+			"Batches whose completion report was accepted.", workerName).Inc()
+		if failed > 0 {
+			c.counter("sesa_fleet_batches_failed_total",
+				"Accepted batches containing at least one failed job.", workerName).Inc()
+		}
+		// Stitch the worker's spans into the sweep timeline, anchored at
+		// the lease grant so no cross-host clock sync is needed.
+		tl.Add(telemetry.Span{
+			Name: telemetry.StageLease, Cat: "coordinator", Batch: batchID,
+			Worker: workerName, Attempt: attempt,
+			Start: anchor, Dur: reportStart.Sub(anchor),
+		})
+		for _, ws := range req.Spans {
+			tl.Add(telemetry.Span{
+				Name: ws.Name, Cat: "worker", Batch: batchID, Worker: workerName,
+				Job: ws.Job, Index: ws.Index,
+				Start: anchor.Add(time.Duration(ws.StartSeconds * float64(time.Second))),
+				Dur:   time.Duration(ws.DurSeconds * float64(time.Second)),
+			})
+		}
+		tl.Add(telemetry.Span{
+			Name: telemetry.StageReport, Cat: "coordinator", Batch: batchID,
+			Worker: workerName, Start: reportStart, Dur: time.Since(reportStart),
+		})
+		c.log.Debug("batch completed",
+			telemetry.KeySweep, sweepID, telemetry.KeyBatch, batchID,
+			telemetry.KeyWorker, workerName, "accepted", accepted, "failed", failed)
+	} else if dup {
+		c.counter("sesa_fleet_duplicate_completions_total",
+			"Completion reports for batches already settled or released.", workerName).Inc()
+		c.log.Debug("duplicate completion dropped (first write won)",
+			telemetry.KeySweep, sweepID, telemetry.KeyBatch, batchID,
+			telemetry.KeyWorker, workerName)
+	}
 	for _, fn := range notify {
 		fn()
 	}
@@ -514,9 +676,14 @@ func (c *Coordinator) Deregister(req DeregisterRequest) error {
 		if b.attempts < 0 {
 			b.attempts = 0
 		}
+		c.counter("sesa_fleet_leases_refunded_total",
+			"Leases handed back by gracefully deregistering workers.", w.name).Inc()
 		notify = append(notify, c.requeueLocked(b)...)
 	}
 	delete(c.workers, req.WorkerID)
+	c.log.Info("worker deregistered",
+		telemetry.KeyWorker, w.name, "worker_id", w.id,
+		"completed_batches", w.completed)
 	c.mu.Unlock()
 	for _, fn := range notify {
 		fn()

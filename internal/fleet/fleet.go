@@ -275,11 +275,34 @@ type HeartbeatResponse struct {
 	Cancel []string `json:"cancel,omitempty"`
 }
 
+// WireSpan is one worker-side timeline span shipped back with a completion
+// report: the batch-execute window and each job's execution window. Times
+// are relative to the moment the worker began executing the batch — the
+// coordinator anchors them at its own lease-grant timestamp when stitching
+// the sweep timeline, so the protocol needs no cross-host clock sync (skew
+// shifts a worker's block as a whole, never spans within it). Spans are
+// operational data: informational only, excluded from all deterministic
+// output, and an empty list is always valid (older workers simply ship
+// none).
+type WireSpan struct {
+	// Name is a telemetry.Stage* constant ("worker-execute" or "job").
+	Name string `json:"name"`
+	// Job and Index identify the job for per-job spans (Index is the
+	// sweep index, like WireResult.Index).
+	Job   string `json:"job,omitempty"`
+	Index int    `json:"index,omitempty"`
+	// StartSeconds is the offset from the batch execution start.
+	StartSeconds float64 `json:"start_seconds"`
+	DurSeconds   float64 `json:"dur_seconds"`
+}
+
 // CompleteRequest reports a finished batch.
 type CompleteRequest struct {
 	WorkerID string       `json:"worker_id"`
 	BatchID  string       `json:"batch_id"`
 	Results  []WireResult `json:"results"`
+	// Spans carries the worker-side timeline of the batch (see WireSpan).
+	Spans []WireSpan `json:"spans,omitempty"`
 }
 
 // CompleteResponse acknowledges a completion. Accepted counts results that

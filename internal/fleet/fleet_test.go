@@ -41,7 +41,7 @@ func testJobs(t *testing.T, n int, hists bool) []runner.Job {
 
 func newTestCoordinator(t *testing.T, opts config.Fleet) *Coordinator {
 	t.Helper()
-	c, err := NewCoordinator(opts)
+	c, err := NewCoordinator(opts, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +54,7 @@ func newTestCoordinator(t *testing.T, opts config.Fleet) *Coordinator {
 func runAsync(ctx context.Context, c *Coordinator, id string, jobs []runner.Job) <-chan []runner.Result {
 	out := make(chan []runner.Result, 1)
 	go func() {
-		res, err := c.RunJobs(ctx, id, jobs, nil, nil)
+		res, err := c.RunJobs(ctx, id, jobs, nil, nil, nil)
 		if err != nil {
 			res = nil
 		}

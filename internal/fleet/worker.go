@@ -3,6 +3,7 @@ package fleet
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strings"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"sesa/internal/runner"
+	"sesa/internal/telemetry"
 	"sesa/internal/trace"
 )
 
@@ -28,6 +30,9 @@ type WorkerOptions struct {
 	Poll time.Duration
 	// Client overrides the HTTP client (tests inject httptest clients).
 	Client *http.Client
+	// Tel (may be nil) supplies the worker's structured logger and the
+	// metrics registry behind its -status-addr /metrics endpoint.
+	Tel *telemetry.T
 }
 
 // Worker is one fleet node: it registers with the coordinator, pulls one
@@ -40,6 +45,8 @@ type Worker struct {
 	opts   WorkerOptions
 	client *http.Client
 	base   string
+	log    *slog.Logger        // never nil (telemetry.Discard when unset)
+	reg    *telemetry.Registry // nil-safe no-op when unset
 
 	// hardCtx is the worker's lifetime: Abort (or process death) cancels
 	// it, killing in-flight batch execution without completion or
@@ -69,14 +76,23 @@ func NewWorker(o WorkerOptions) *Worker {
 		client = &http.Client{Timeout: 30 * time.Second}
 	}
 	ctx, stop := context.WithCancel(context.Background())
-	return &Worker{
+	w := &Worker{
 		opts:     o,
 		client:   client,
 		base:     strings.TrimRight(o.Coordinator, "/"),
+		log:      o.Tel.Component("fleet.worker").With(slog.String(telemetry.KeyWorker, o.Name)),
+		reg:      o.Tel.Registry(),
 		hardCtx:  ctx,
 		hardStop: stop,
 		inflight: make(map[string]context.CancelFunc),
 	}
+	w.reg.GaugeFunc("sesa_worker_inflight_batches",
+		"Batches this worker is currently executing.", func() []telemetry.Sample {
+			w.mu.Lock()
+			defer w.mu.Unlock()
+			return []telemetry.Sample{{Value: float64(len(w.inflight))}}
+		})
+	return w
 }
 
 // Abort kills the worker immediately: in-flight batch execution stops, no
@@ -116,22 +132,30 @@ func (w *Worker) Run(ctx context.Context) error {
 		<-hbDone
 	}()
 
+	leaseFails := 0
 	for ctx.Err() == nil && w.hardCtx.Err() == nil {
 		lease, ok, err := w.lease()
 		if err != nil {
 			// Coordinator unreachable or restarting: back off and retry;
 			// the fabric is pull-based, so patience is the whole story.
+			leaseFails++
+			w.reg.Counter("sesa_worker_lease_errors_total",
+				"Lease requests that failed (coordinator unreachable or restarting).").Inc()
+			w.log.Warn("lease request failed, backing off",
+				"error", err, telemetry.KeyAttempt, leaseFails)
 			if !w.sleep(ctx, w.opts.Poll) {
 				break
 			}
 			continue
 		}
+		leaseFails = 0
 		if !ok {
 			if !w.sleep(ctx, w.opts.Poll) {
 				break
 			}
 			continue
 		}
+		w.reg.Counter("sesa_worker_batches_leased_total", "Batches leased from the coordinator.").Inc()
 		w.runBatch(lease)
 	}
 
@@ -141,13 +165,21 @@ func (w *Worker) Run(ctx context.Context) error {
 	// Graceful exit: hand back anything the coordinator still thinks we
 	// hold (normally nothing — the in-flight batch was completed above).
 	_, err := postJSON(w.client, w.base+"/deregister", DeregisterRequest{WorkerID: w.workerID()}, nil)
+	if err != nil {
+		// The coordinator will time the leases out instead; surfacing the
+		// error (rather than dropping it) is what lets an operator tell a
+		// clean drain from one that leaned on lease expiry.
+		w.log.Warn("deregistration failed; coordinator will expire our leases", "error", err)
+	} else {
+		w.log.Info("deregistered from coordinator")
+	}
 	return err
 }
 
 // register announces the worker, retrying until it succeeds or ctx ends.
 func (w *Worker) register(ctx context.Context) error {
 	req := RegisterRequest{Name: w.opts.Name, Cores: w.opts.Jobs}
-	for {
+	for attempt := 1; ; attempt++ {
 		var resp RegisterResponse
 		_, err := postJSON(w.client, w.base+"/register", req, &resp)
 		if err == nil {
@@ -158,8 +190,12 @@ func (w *Worker) register(ctx context.Context) error {
 				w.hbEvery = time.Second
 			}
 			w.mu.Unlock()
+			w.log.Info("registered with coordinator",
+				"worker_id", resp.WorkerID, "lease_seconds", resp.LeaseSeconds)
 			return nil
 		}
+		w.log.Warn("registration failed, retrying",
+			"error", err, telemetry.KeyAttempt, attempt)
 		if !w.sleep(ctx, w.opts.Poll) {
 			return fmt.Errorf("fleet: worker never registered: %w", err)
 		}
@@ -209,15 +245,36 @@ func (w *Worker) runBatch(lease LeaseResponse) {
 		if err != nil {
 			// The coordinator validated these at submission; failing the
 			// whole batch loudly beats guessing.
+			w.log.Error("leased batch carries an unresolvable job, failing it",
+				telemetry.KeySweep, lease.SweepID, telemetry.KeyBatch, lease.BatchID, "error", err)
 			w.completeError(lease, err)
 			return
 		}
 		jobs[k] = j
 	}
 
-	pool := runner.Pool{Workers: w.opts.Jobs, Cache: trace.Shared()}
+	// Per-job execution windows, recorded relative to the batch start so
+	// the coordinator can stitch them without cross-host clock sync.
+	execStart := time.Now()
+	var spanMu sync.Mutex
+	spans := []WireSpan{}
+	pool := runner.Pool{Workers: w.opts.Jobs, Cache: trace.Shared(),
+		OnJobSpan: func(k int, name string, start, end time.Time) {
+			spanMu.Lock()
+			spans = append(spans, WireSpan{
+				Name: telemetry.StageJob, Job: name, Index: lease.Start + k,
+				StartSeconds: start.Sub(execStart).Seconds(),
+				DurSeconds:   end.Sub(start).Seconds(),
+			})
+			spanMu.Unlock()
+		}}
 	results, _ := pool.RunContext(bctx, jobs)
 	if bctx.Err() != nil {
+		w.reg.Counter("sesa_worker_batches_abandoned_total",
+			"Batches abandoned mid-execution (drain, crash or coordinator cancel).").Inc()
+		w.log.Warn("batch abandoned mid-execution",
+			telemetry.KeySweep, lease.SweepID, telemetry.KeyBatch, lease.BatchID,
+			"cause", context.Cause(bctx))
 		return // abandoned: crash, drain deadline, or coordinator cancel
 	}
 
@@ -226,11 +283,30 @@ func (w *Worker) runBatch(lease LeaseResponse) {
 		BatchID:  lease.BatchID,
 		Results:  make([]WireResult, len(results)),
 	}
+	failed := 0
 	for k := range results {
 		wr := EncodeResult(results[k])
 		wr.Index = lease.Start + k // rebase batch-local index to sweep index
 		req.Results[k] = wr
+		if results[k].Err != nil {
+			failed++
+		}
 	}
+	spanMu.Lock()
+	req.Spans = append(spans, WireSpan{
+		Name: telemetry.StageExecute, DurSeconds: time.Since(execStart).Seconds(),
+	})
+	spanMu.Unlock()
+	w.reg.Counter("sesa_worker_jobs_completed_total", "Jobs executed and reported.").
+		Add(float64(len(results) - failed))
+	if failed > 0 {
+		w.reg.Counter("sesa_worker_jobs_failed_total", "Executed jobs that reported an error.").
+			Add(float64(failed))
+	}
+	w.log.Debug("batch executed",
+		telemetry.KeySweep, lease.SweepID, telemetry.KeyBatch, lease.BatchID,
+		"jobs", len(results), "failed", failed,
+		"wall_seconds", time.Since(execStart).Seconds())
 	w.complete(req)
 }
 
@@ -248,24 +324,39 @@ func (w *Worker) completeError(lease LeaseResponse, err error) {
 // the lease expires and another worker redoes it, at the price of wasted
 // cycles, never wrong bytes.
 func (w *Worker) complete(req CompleteRequest) {
-	for attempt := 0; attempt < 3; attempt++ {
-		if _, err := postJSON(w.client, w.base+"/complete", req, nil); err == nil {
+	for attempt := 1; attempt <= 3; attempt++ {
+		_, err := postJSON(w.client, w.base+"/complete", req, nil)
+		if err == nil {
 			w.mu.Lock()
 			w.batchesDone++
 			w.mu.Unlock()
+			w.reg.Counter("sesa_worker_batches_completed_total",
+				"Batches whose completion report was delivered.").Inc()
 			return
-		} else if err == errGone {
+		}
+		if err == errGone {
+			w.log.Warn("completion refused: coordinator no longer knows us (restart); dropping batch",
+				telemetry.KeyBatch, req.BatchID)
 			return // coordinator restarted; our lease is gone with it
 		}
+		w.reg.Counter("sesa_worker_report_retries_total",
+			"Completion-report deliveries that failed and were retried.").Inc()
+		w.log.Warn("completion report failed",
+			telemetry.KeyBatch, req.BatchID, "error", err, telemetry.KeyAttempt, attempt)
 		if !w.sleep(w.hardCtx, w.opts.Poll) {
 			return
 		}
 	}
+	// The batch is lost to this worker: its lease will expire and another
+	// worker will redo it — wasted cycles, never wrong bytes.
+	w.log.Error("completion report undeliverable after retries; lease will expire",
+		telemetry.KeyBatch, req.BatchID)
 }
 
 // heartbeatLoop renews leases every hbEvery until stopped, applying the
 // coordinator's cancel verdicts to in-flight batches.
 func (w *Worker) heartbeatLoop(stop <-chan struct{}) {
+	hbFails := 0 // consecutive misses, reset on any successful renewal
 	for {
 		w.mu.Lock()
 		every := w.hbEvery
@@ -290,11 +381,22 @@ func (w *Worker) heartbeatLoop(stop <-chan struct{}) {
 		ok, err := postJSON(w.client, w.base+"/heartbeat",
 			HeartbeatRequest{WorkerID: w.workerID(), Batches: ids}, &resp)
 		if err != nil || !ok {
-			continue // transient; the lease TTL is the real deadline
+			// Transient; the lease TTL is the real deadline — but a silent
+			// string of misses is exactly what precedes a surprise lease
+			// expiry, so count and log each one.
+			hbFails++
+			w.reg.Counter("sesa_worker_heartbeat_errors_total",
+				"Heartbeats that failed to reach the coordinator.").Inc()
+			w.log.Warn("heartbeat failed; lease expires without renewal",
+				"error", err, telemetry.KeyAttempt, hbFails, "held_batches", len(ids))
+			continue
 		}
+		hbFails = 0
 		w.mu.Lock()
 		for _, id := range resp.Cancel {
 			if cancel := w.inflight[id]; cancel != nil {
+				w.log.Info("coordinator canceled our lease, abandoning batch",
+					telemetry.KeyBatch, id)
 				cancel()
 			}
 		}

@@ -144,6 +144,11 @@ type Pool struct {
 	// Progress, when non-nil, receives live sweep updates at job boundaries
 	// (for the -status-addr endpoint). It never affects results.
 	Progress *Progress
+	// OnJobSpan, when non-nil, receives each job's execution window right
+	// after the job finishes — the telemetry hook behind sweep timelines.
+	// Like Progress it fires at job boundaries only (never inside a
+	// machine), never affects results, and costs one nil check when unset.
+	OnJobSpan func(i int, name string, start, end time.Time)
 }
 
 // workers resolves the effective pool size.
@@ -214,7 +219,11 @@ func (p Pool) runJob(ctx context.Context, i int, j Job) Result {
 		return r
 	}
 	p.Progress.JobStarted(i, j.Name())
+	start := time.Now()
 	r := p.runOne(ctx, i, j)
+	if p.OnJobSpan != nil {
+		p.OnJobSpan(i, j.Name(), start, time.Now())
+	}
 	p.Progress.JobDone(&r)
 	return r
 }

@@ -289,6 +289,15 @@ func currentProgress() *Progress {
 	return nil
 }
 
+// publishExpvars installs the sesa.sweep and sesa.histograms expvars.
+//
+// Known limitation: expvar publication is process-global and permanent, so
+// these two vars can only ever describe ONE sweep — whichever handler was
+// installed most recently (a daemon running sweeps back to back silently
+// repoints them). They are kept for /debug/vars compatibility; anything
+// that needs to observe several sweeps side by side should scrape the
+// /metrics endpoint instead, whose per-sweep families are namespaced by a
+// sweep="sw-NNNNNN" label (see internal/telemetry and serve.registerMetrics).
 var publishExpvars = sync.OnceFunc(func() {
 	expvar.Publish("sesa.sweep", expvar.Func(func() any {
 		return currentProgress().Snapshot()

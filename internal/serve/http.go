@@ -135,8 +135,11 @@ func (e *admissionError) Error() string {
 //	GET    /v1/sweeps/{id}          status + live per-job progress
 //	GET    /v1/sweeps/{id}/results  Table IV rows + sweep summary
 //	                                (?view=table serves the bare table document)
+//	GET    /v1/sweeps/{id}/timeline the sweep's span timeline as Chrome-trace
+//	                                JSON (open in ui.perfetto.dev)
 //	DELETE /v1/sweeps/{id}          cancel (mid-run cancellation frees workers)
 //	GET    /v1/cache                content-addressed result cache counters
+//	GET    /metrics                 Prometheus text exposition
 //	GET    /healthz                 liveness probe
 //
 // plus the live-introspection endpoints every sesa sweep has: /status,
@@ -146,8 +149,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
 	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/sweeps/{id}/results", s.handleResults)
+	mux.HandleFunc("GET /v1/sweeps/{id}/timeline", s.handleTimeline)
 	mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/cache", s.handleCache)
+	mux.Handle("GET /metrics", s.reg.Handler())
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -340,6 +345,25 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
+}
+
+// handleTimeline serves the sweep's span record as a Chrome trace-event
+// document. It works mid-run too — the timeline snapshots safely — which is
+// how you watch a fleet sweep take shape live.
+func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	sw, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown sweep %q", r.PathValue("id")))
+		return
+	}
+	if sw.timeline == nil {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("serve: sweep %s recorded no timeline", sw.id))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", sw.id+".trace.json"))
+	_ = sw.timeline.WriteChrome(w)
 }
 
 func (s *Server) handleCache(w http.ResponseWriter, _ *http.Request) {

@@ -31,6 +31,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sync"
@@ -40,6 +41,7 @@ import (
 	"sesa/internal/fleet"
 	"sesa/internal/report"
 	"sesa/internal/runner"
+	"sesa/internal/telemetry"
 	"sesa/internal/trace"
 )
 
@@ -71,6 +73,12 @@ type Options struct {
 	// and results land positionally — so flipping this changes capacity,
 	// never output.
 	Fleet *config.Fleet
+	// Telemetry supplies the structured logger and metrics registry; nil is
+	// fully functional (logs are discarded, metric updates are no-ops, and
+	// /metrics serves an empty document). Sweep timelines are recorded
+	// either way — they are per-job, not per-cycle, and never touch the
+	// simulation hot path.
+	Telemetry *telemetry.T
 }
 
 // sweepState is the lifecycle of one submitted sweep.
@@ -98,6 +106,8 @@ type sweep struct {
 	keys  []string // jobs[i]'s content address
 
 	progress *runner.Progress
+	timeline *telemetry.Timeline     // span record of the sweep's path through the service
+	admitted time.Time               // when submit enqueued it (feeds the queue span)
 	runCtx   context.Context         // set when the dispatcher picks the sweep up
 	cancel   context.CancelCauseFunc // non-nil while running
 	done     chan struct{}           // closed on terminal state
@@ -112,7 +122,9 @@ type sweep struct {
 type Server struct {
 	opts  Options
 	cache *resultCache
-	fleet *fleet.Coordinator // nil in single-host mode
+	fleet *fleet.Coordinator  // nil in single-host mode
+	log   *slog.Logger        // never nil (discards when telemetry is off)
+	reg   *telemetry.Registry // nil-safe; backs GET /metrics
 
 	// lifeCtx parents every sweep's run context; Close cancels it.
 	lifeCtx  context.Context
@@ -156,7 +168,7 @@ func NewFleet(o Options) (*Server, error) {
 	var coord *fleet.Coordinator
 	if o.Fleet != nil {
 		var err error
-		if coord, err = fleet.NewCoordinator(*o.Fleet); err != nil {
+		if coord, err = fleet.NewCoordinator(*o.Fleet, o.Telemetry); err != nil {
 			return nil, err
 		}
 	}
@@ -165,14 +177,106 @@ func NewFleet(o Options) (*Server, error) {
 		fleet:    coord,
 		opts:     o,
 		cache:    newResultCache(o.MaxCached),
+		log:      o.Telemetry.Component("serve"),
+		reg:      o.Telemetry.Registry(),
 		lifeCtx:  ctx,
 		lifeStop: stop,
 		sweeps:   make(map[string]*sweep),
 		wake:     make(chan struct{}, 1),
 	}
+	s.registerMetrics()
 	s.wg.Add(1)
 	go s.dispatch()
 	return s, nil
+}
+
+// registerMetrics installs the daemon's scrape-time families. All of them
+// sample live state only when /metrics is actually read, so an unscraped
+// registry costs nothing; all callbacks take the server mutex, which Render
+// guarantees is not nested inside the registry lock.
+//
+// Per-sweep families are labeled sweep="sw-NNNNNN" and cover the queued,
+// running and most recently finished sweeps — a bounded window, unlike the
+// process-global /debug/vars counters (see runner.StatusHandler), which can
+// only ever follow one sweep at a time.
+func (s *Server) registerMetrics() {
+	s.reg.GaugeFunc("sesa_serve_queue_depth",
+		"Sweeps waiting in the admission queue.", func() []telemetry.Sample {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return []telemetry.Sample{{Value: float64(len(s.queue))}}
+		})
+	s.reg.GaugeFunc("sesa_cache_entries",
+		"Jobs held in the content-addressed result cache.", func() []telemetry.Sample {
+			_, _, size := s.cache.stats()
+			return []telemetry.Sample{{Value: float64(size)}}
+		})
+	s.reg.CounterFunc("sesa_cache_hits_total",
+		"Result-cache hits.", func() []telemetry.Sample {
+			hits, _, _ := s.cache.stats()
+			return []telemetry.Sample{{Value: float64(hits)}}
+		})
+	s.reg.CounterFunc("sesa_cache_misses_total",
+		"Result-cache misses.", func() []telemetry.Sample {
+			_, misses, _ := s.cache.stats()
+			return []telemetry.Sample{{Value: float64(misses)}}
+		})
+
+	// One sample per observed sweep, labeled by sweep id.
+	perSweep := func(v func(sw *sweep, snap runner.Snapshot) float64) func() []telemetry.Sample {
+		return func() []telemetry.Sample {
+			var out []telemetry.Sample
+			for _, sw := range s.metricSweeps() {
+				out = append(out, telemetry.Sample{
+					Labels: [][2]string{{"sweep", sw.id}},
+					Value:  v(sw, sw.progress.Snapshot()),
+				})
+			}
+			return out
+		}
+	}
+	s.reg.GaugeFunc("sesa_sweep_jobs",
+		"Jobs in the sweep (cached jobs excluded while running).",
+		perSweep(func(_ *sweep, sn runner.Snapshot) float64 { return float64(sn.TotalJobs) }))
+	s.reg.GaugeFunc("sesa_sweep_jobs_done",
+		"Jobs the sweep has completed.",
+		perSweep(func(_ *sweep, sn runner.Snapshot) float64 { return float64(sn.Done) }))
+	s.reg.GaugeFunc("sesa_sweep_jobs_failed",
+		"Completed jobs that failed.",
+		perSweep(func(_ *sweep, sn runner.Snapshot) float64 { return float64(sn.Failed) }))
+	s.reg.GaugeFunc("sesa_sweep_jobs_per_second",
+		"Sweep throughput: completed jobs per elapsed wall-clock second.",
+		perSweep(func(_ *sweep, sn runner.Snapshot) float64 {
+			if sn.ElapsedSeconds <= 0 {
+				return 0
+			}
+			return float64(sn.Done) / sn.ElapsedSeconds
+		}))
+	s.reg.GaugeFunc("sesa_sweep_cycles_per_second",
+		"Sweep throughput: simulated cycles per elapsed wall-clock second.",
+		perSweep(func(_ *sweep, sn runner.Snapshot) float64 { return sn.CyclesPerSecond }))
+}
+
+// metricSweeps is the bounded window the per-sweep families report: queued
+// and running sweeps plus the most recently finished one. Terminal sweeps
+// age out of the export (their last state remains queryable via the API), so
+// series cardinality never grows with daemon uptime.
+func (s *Server) metricSweeps() []*sweep {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []*sweep
+	if s.last != nil && s.last.progress != nil {
+		out = append(out, s.last)
+	}
+	if s.running != nil && s.running != s.last {
+		out = append(out, s.running)
+	}
+	for _, sw := range s.queue {
+		if sw.state == stateQueued {
+			out = append(out, sw)
+		}
+	}
+	return out
 }
 
 // submit admits a resolved sweep: either completes it synchronously when
@@ -180,6 +284,7 @@ func NewFleet(o Options) (*Server, error) {
 // the queue), or enqueues it. It returns the sweep, or an admissionError
 // carrying the HTTP status to serve.
 func (s *Server) submit(title string, jobs []runner.Job) (*sweep, error) {
+	admStart := time.Now()
 	keys := make([]string, len(jobs))
 	for i, j := range jobs {
 		keys[i] = jobKey(j)
@@ -200,8 +305,15 @@ func (s *Server) submit(title string, jobs []runner.Job) (*sweep, error) {
 			return nil, errDraining
 		}
 		sw.id = s.nextIDLocked()
+		sw.timeline = telemetry.NewTimeline(sw.id)
+		sw.timeline.Add(telemetry.Span{
+			Name: telemetry.StageAdmission, Cat: "coordinator", Index: -1,
+			Start: admStart, Dur: time.Since(admStart),
+		})
 		s.sweeps[sw.id] = sw
 		s.flush(sw)
+		s.log.Info("sweep served entirely from cache",
+			telemetry.KeySweep, sw.id, "jobs", len(jobs))
 		return sw, nil
 	}
 
@@ -211,7 +323,10 @@ func (s *Server) submit(title string, jobs []runner.Job) (*sweep, error) {
 		return nil, errDraining
 	}
 	if len(s.queue) >= max(s.opts.MaxQueued, 0) {
-		return nil, &admissionError{retryAfter: s.retryAfterLocked()}
+		retry := s.retryAfterLocked()
+		s.log.Warn("sweep rejected, admission queue full",
+			"jobs", len(jobs), "queued", len(s.queue), "retry_after_seconds", retry)
+		return nil, &admissionError{retryAfter: retry}
 	}
 	sw := &sweep{
 		title:    title,
@@ -219,14 +334,22 @@ func (s *Server) submit(title string, jobs []runner.Job) (*sweep, error) {
 		jobs:     jobs,
 		keys:     keys,
 		progress: runner.NewProgress(),
+		admitted: time.Now(),
 		done:     make(chan struct{}),
 	}
 	if s.fleet != nil {
 		sw.progress.AttachFleet(s.fleet.WorkerStatus)
 	}
 	sw.id = s.nextIDLocked()
+	sw.timeline = telemetry.NewTimeline(sw.id)
+	sw.timeline.Add(telemetry.Span{
+		Name: telemetry.StageAdmission, Cat: "coordinator", Index: -1,
+		Start: admStart, Dur: sw.admitted.Sub(admStart),
+	})
 	s.sweeps[sw.id] = sw
 	s.queue = append(s.queue, sw)
+	s.log.Info("sweep admitted",
+		telemetry.KeySweep, sw.id, "jobs", len(jobs), "queue_position", len(s.queue))
 	s.nudge()
 	return sw, nil
 }
@@ -334,6 +457,10 @@ func (s *Server) next() *sweep {
 func (s *Server) runSweep(sw *sweep) {
 	start := time.Now()
 	ctx := sw.runCtx
+	sw.timeline.Add(telemetry.Span{
+		Name: telemetry.StageQueue, Cat: "coordinator", Index: -1,
+		Start: sw.admitted, Dur: start.Sub(sw.admitted),
+	})
 
 	results := make([]runner.Result, len(sw.jobs))
 	var toRun []runner.Job
@@ -348,6 +475,8 @@ func (s *Server) runSweep(sw *sweep) {
 		toRun = append(toRun, j)
 		toRunIdx = append(toRunIdx, i)
 	}
+	s.log.Info("sweep started", telemetry.KeySweep, sw.id,
+		"jobs", len(sw.jobs), "cached", hits, "fleet", s.fleet != nil)
 
 	workers := s.opts.MaxWorkers
 	if len(toRun) > 0 {
@@ -358,7 +487,7 @@ func (s *Server) runSweep(sw *sweep) {
 			// and completions stream into the cache as they settle, so a
 			// second sweep overlapping this one hits on the finished jobs.
 			var ferr error
-			ran, ferr = s.fleet.RunJobs(ctx, sw.id, toRun, sw.progress,
+			ran, ferr = s.fleet.RunJobs(ctx, sw.id, toRun, sw.progress, sw.timeline,
 				func(k int, r runner.Result) {
 					if !fleet.IsAbandoned(r.Err) {
 						s.cache.put(sw.keys[toRunIdx[k]], r)
@@ -371,8 +500,21 @@ func (s *Server) runSweep(sw *sweep) {
 				}
 			}
 		} else {
-			pool := runner.Pool{Workers: workers, Cache: trace.Shared(), Progress: sw.progress}
+			// Local mode: the daemon's own pool is the "worker"; job spans
+			// land on the same timeline the fleet path would fill.
+			execStart := time.Now()
+			pool := runner.Pool{Workers: workers, Cache: trace.Shared(), Progress: sw.progress,
+				OnJobSpan: func(k int, name string, js, je time.Time) {
+					sw.timeline.Add(telemetry.Span{
+						Name: telemetry.StageJob, Cat: "worker", Worker: "local",
+						Job: name, Index: toRunIdx[k], Start: js, Dur: je.Sub(js),
+					})
+				}}
 			ran, _ = pool.RunContext(ctx, toRun)
+			sw.timeline.Add(telemetry.Span{
+				Name: telemetry.StageExecute, Cat: "worker", Worker: "local", Index: -1,
+				Start: execStart, Dur: time.Since(execStart),
+			})
 		}
 		for k, r := range ran {
 			i := toRunIdx[k]
@@ -385,6 +527,7 @@ func (s *Server) runSweep(sw *sweep) {
 	}
 
 	canceled := ctx.Err() != nil
+	aggStart := time.Now()
 	sum := summarize(results, workers, time.Since(start))
 
 	s.mu.Lock()
@@ -401,7 +544,15 @@ func (s *Server) runSweep(sw *sweep) {
 	s.running = nil
 	s.last = sw
 	s.flush(sw)
+	state := sw.state
 	s.mu.Unlock()
+	sw.timeline.Add(telemetry.Span{
+		Name: telemetry.StageAggregate, Cat: "coordinator", Index: -1,
+		Start: aggStart, Dur: time.Since(aggStart),
+	})
+	s.log.Info("sweep finished", telemetry.KeySweep, sw.id, "state", string(state),
+		"jobs", len(sw.jobs), "failed", sum.Failed, "cached", hits,
+		"wall_seconds", sum.WallSeconds)
 	close(sw.done)
 }
 
@@ -432,7 +583,7 @@ func summarize(results []runner.Result, workers int, wall time.Duration) report.
 }
 
 // flush writes a finished sweep's results document to ResultsDir (caller
-// holds the server mutex; errors are reported on stderr, never to clients —
+// holds the server mutex; errors are logged, never reported to clients —
 // the in-memory results remain authoritative).
 func (s *Server) flush(sw *sweep) {
 	if s.opts.ResultsDir == "" {
@@ -445,7 +596,8 @@ func (s *Server) flush(sw *sweep) {
 		err = os.WriteFile(path, append(buf, '\n'), 0o644)
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "serve: flushing %s: %v\n", sw.id, err)
+		s.log.Error("flushing sweep results failed",
+			telemetry.KeySweep, sw.id, "path", path, "error", err)
 	}
 }
 

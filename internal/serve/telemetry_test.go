@@ -1,0 +1,343 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"sesa/internal/config"
+	"sesa/internal/fleet"
+	"sesa/internal/telemetry"
+)
+
+// telemetryOptions returns Options with a live metrics registry and a discard
+// logger, the way sesa-serve wires them.
+func telemetryOptions(o Options) Options {
+	o.Telemetry = &telemetry.T{Log: telemetry.Discard(), Metrics: telemetry.NewRegistry()}
+	return o
+}
+
+// scrapeSeries GETs /metrics and returns the set of series identities —
+// "name{labels}" with the sample value stripped, since values (rates, byte
+// counts, wall times) are not reproducible.
+func scrapeSeries(t *testing.T, ts *httptest.Server) map[string]bool {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: HTTP %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics Content-Type = %q, want text/plain exposition", ct)
+	}
+	series := make(map[string]bool)
+	for _, line := range strings.Split(string(raw), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("/metrics line %q has no value", line)
+		}
+		series[line[:i]] = true
+	}
+	return series
+}
+
+// TestMetricsEndpoint drives a local-mode sweep to completion, resubmits it to
+// hit the result cache, and asserts /metrics exposes the expected series
+// names and label blocks. Values are normalized away — only identities are
+// golden.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, telemetryOptions(Options{MaxWorkers: 2}))
+	req := SweepRequest{
+		Title: "metrics sweep",
+		Jobs: []JobSpec{
+			{Profile: "radix", Model: "x86", InstPerCore: 2000, Seed: 42},
+			{Profile: "fft", Model: "370-NoSpec", InstPerCore: 2000, Seed: 7},
+		},
+	}
+	resp, st := post(t, ts, req)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+	if fin := waitTerminal(t, ts, st.ID, 60*time.Second); fin.State != string(stateDone) {
+		t.Fatalf("sweep finished %s, want done", fin.State)
+	}
+	// Resubmit: both jobs come out of the cache. The resubmission completes
+	// synchronously with no progress tracker, so it never enters the
+	// per-sweep window — the families keep reporting the executed sweep —
+	// but the scrape-time cache counters move.
+	resp2, _ := post(t, ts, req)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("cached resubmit: HTTP %d, want 200", resp2.StatusCode)
+	}
+
+	series := scrapeSeries(t, ts)
+	for _, want := range []string{
+		"sesa_serve_queue_depth",
+		"sesa_cache_entries",
+		"sesa_cache_hits_total",
+		"sesa_cache_misses_total",
+		`sesa_sweep_jobs{sweep="` + st.ID + `"}`,
+		`sesa_sweep_jobs_done{sweep="` + st.ID + `"}`,
+		`sesa_sweep_jobs_failed{sweep="` + st.ID + `"}`,
+		`sesa_sweep_jobs_per_second{sweep="` + st.ID + `"}`,
+		`sesa_sweep_cycles_per_second{sweep="` + st.ID + `"}`,
+	} {
+		if !series[want] {
+			var got []string
+			for s := range series {
+				got = append(got, s)
+			}
+			sort.Strings(got)
+			t.Errorf("/metrics missing series %q; have:\n%s", want, strings.Join(got, "\n"))
+		}
+	}
+}
+
+// TestMetricsWithoutTelemetry: a server built with no telemetry bundle still
+// serves /metrics — an empty exposition, not a panic or a 404, so probes can
+// stay unconditional.
+func TestMetricsWithoutTelemetry(t *testing.T) {
+	_, ts := newTestServer(t, Options{MaxWorkers: 1})
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || len(raw) != 0 {
+		t.Errorf("/metrics without telemetry: HTTP %d, body %q; want empty 200", resp.StatusCode, raw)
+	}
+}
+
+// chromeTrace is the slice of the Chrome trace-event schema the tests read.
+type chromeTrace struct {
+	TraceEvents []struct {
+		Name string `json:"name"`
+		Cat  string `json:"cat"`
+		Ph   string `json:"ph"`
+		Ts   int64  `json:"ts"`
+		Dur  int64  `json:"dur"`
+		Args struct {
+			Sweep  string `json:"sweep"`
+			Batch  string `json:"batch"`
+			Worker string `json:"worker"`
+			Index  *int   `json:"index"`
+			Name   string `json:"name"`
+		} `json:"args"`
+	} `json:"traceEvents"`
+}
+
+// fetchTimeline downloads and decodes a sweep's Chrome-trace timeline.
+func fetchTimeline(t *testing.T, ts *httptest.Server, id string) chromeTrace {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/sweeps/" + id + "/timeline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("timeline %s: HTTP %d: %s", id, resp.StatusCode, raw)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("timeline Content-Type = %q, want application/json", ct)
+	}
+	var doc chromeTrace
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("timeline %s is not valid Chrome-trace JSON: %v\n%s", id, err, raw)
+	}
+	return doc
+}
+
+// TestFleetTimelineStitching runs a sweep through a coordinator plus two
+// workers and checks the downloaded timeline: worker-side execution spans
+// shipped over the wire are stitched between the coordinator's own lease and
+// report spans, every job has an execution window, and the full
+// admission→aggregate lifecycle is present.
+func TestFleetTimelineStitching(t *testing.T) {
+	fc := config.Fleet{BatchSize: 2, LeaseTTL: 2 * time.Second, MaxAttempts: 5}
+	s, err := NewFleet(telemetryOptions(Options{MaxWorkers: 2, Fleet: &fc}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	ctx, cancel := context.WithCancel(context.Background())
+	const nWorkers = 2
+	done := make(chan struct{}, nWorkers)
+	for i := 0; i < nWorkers; i++ {
+		w := fleet.NewWorker(fleet.WorkerOptions{
+			Coordinator: ts.URL + "/v1/fleet",
+			Name:        "w" + string(rune('A'+i)),
+			Jobs:        1,
+			Poll:        5 * time.Millisecond,
+			Client:      ts.Client(),
+		})
+		go func() {
+			_ = w.Run(ctx)
+			done <- struct{}{}
+		}()
+	}
+	t.Cleanup(func() {
+		cancel()
+		for i := 0; i < nWorkers; i++ {
+			<-done
+		}
+		ts.Close()
+		s.Close()
+	})
+
+	req := fleetSweepRequest()
+	resp, st := post(t, ts, req)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+	if fin := waitTerminal(t, ts, st.ID, 60*time.Second); fin.State != string(stateDone) {
+		t.Fatalf("fleet sweep finished %s, want done", fin.State)
+	}
+
+	doc := fetchTimeline(t, ts, st.ID)
+	stages := make(map[string]int)
+	workers := make(map[string]bool)
+	jobSpans := 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		if ev.Ts < 0 || ev.Dur < 1 {
+			t.Errorf("span %q has ts=%d dur=%d; want ts>=0, dur>=1µs", ev.Name, ev.Ts, ev.Dur)
+		}
+		if ev.Args.Sweep != st.ID {
+			t.Errorf("span %q carries sweep=%q, want %q", ev.Name, ev.Args.Sweep, st.ID)
+		}
+		if ev.Args.Index != nil {
+			// Per-job execution window recorded worker-side and shipped over
+			// the completion report; its event name is the job name.
+			jobSpans++
+			if ev.Cat != "worker" || ev.Args.Worker == "" {
+				t.Errorf("job span %q not attributed to a worker: %+v", ev.Name, ev.Args)
+			}
+		} else {
+			stages[ev.Name]++
+		}
+		if ev.Args.Worker != "" {
+			workers[ev.Args.Worker] = true
+		}
+	}
+
+	if jobSpans != len(req.Jobs) {
+		t.Errorf("timeline has %d job spans, want %d (one execution window per job)",
+			jobSpans, len(req.Jobs))
+	}
+	wantBatches := (len(req.Jobs) + fc.BatchSize - 1) / fc.BatchSize
+	for stage, min := range map[string]int{
+		telemetry.StageAdmission: 1,
+		telemetry.StageQueue:     1,
+		telemetry.StageShard:     1,
+		telemetry.StageLease:     wantBatches,
+		telemetry.StageExecute:   wantBatches,
+		telemetry.StageReport:    wantBatches,
+		telemetry.StageAggregate: 1,
+	} {
+		if stages[stage] < min {
+			t.Errorf("timeline has %d %q spans, want >= %d (all stages: %v)",
+				stages[stage], stage, min, stages)
+		}
+	}
+	if len(workers) == 0 {
+		t.Error("no span is attributed to any worker")
+	}
+	for w := range workers {
+		if w != "wA" && w != "wB" {
+			t.Errorf("span attributed to unknown worker %q", w)
+		}
+	}
+}
+
+// TestTimelineLocalSweep: local-mode sweeps record the same lifecycle with the
+// daemon's own pool standing in as worker "local", so Perfetto renders both
+// modes identically.
+func TestTimelineLocalSweep(t *testing.T) {
+	_, ts := newTestServer(t, telemetryOptions(Options{MaxWorkers: 2}))
+	req := SweepRequest{
+		Title: "local timeline sweep",
+		Jobs: []JobSpec{
+			{Profile: "radix", Model: "x86", InstPerCore: 2000, Seed: 42},
+			{Profile: "fft", Model: "370-NoSpec", InstPerCore: 2000, Seed: 7},
+		},
+	}
+	_, st := post(t, ts, req)
+	if fin := waitTerminal(t, ts, st.ID, 60*time.Second); fin.State != string(stateDone) {
+		t.Fatalf("sweep finished %s, want done", fin.State)
+	}
+	doc := fetchTimeline(t, ts, st.ID)
+	stages := make(map[string]bool)
+	jobSpans := 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		if ev.Args.Index != nil {
+			jobSpans++
+			if ev.Args.Worker != "local" {
+				t.Errorf("local job span attributed to %q, want \"local\"", ev.Args.Worker)
+			}
+		} else {
+			stages[ev.Name] = true
+		}
+	}
+	if jobSpans != len(req.Jobs) {
+		t.Errorf("local timeline has %d job spans, want %d", jobSpans, len(req.Jobs))
+	}
+	for _, stage := range []string{
+		telemetry.StageAdmission, telemetry.StageQueue,
+		telemetry.StageExecute, telemetry.StageAggregate,
+	} {
+		if !stages[stage] {
+			t.Errorf("local timeline missing %q span (have %v)", stage, stages)
+		}
+	}
+}
+
+// TestTimelineAlwaysRecorded: span timelines are bounded, job-granular and
+// cheap, so they are recorded even without a telemetry bundle — the endpoint
+// 404s only for unknown sweeps.
+func TestTimelineAlwaysRecorded(t *testing.T) {
+	_, ts := newTestServer(t, Options{MaxWorkers: 1})
+	resp, err := http.Get(ts.URL + "/v1/sweeps/sw-999999/timeline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown sweep timeline: HTTP %d, want 404", resp.StatusCode)
+	}
+
+	req := SweepRequest{
+		Title: "no telemetry bundle",
+		Jobs:  []JobSpec{{Profile: "radix", Model: "x86", InstPerCore: 2000, Seed: 42}},
+	}
+	_, st := post(t, ts, req)
+	waitTerminal(t, ts, st.ID, 60*time.Second)
+	if doc := fetchTimeline(t, ts, st.ID); len(doc.TraceEvents) == 0 {
+		t.Error("telemetry-less server recorded an empty timeline")
+	}
+}
