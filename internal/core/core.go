@@ -62,7 +62,12 @@ type Core struct {
 	drainInflight int
 	lastDrainWhen uint64
 
-	loadVals map[int]uint64
+	// loadVals records the retired value of each load, keyed by trace
+	// index. The trace length is known at SetProgram time, so it is a
+	// dense slice (with a parallel set bitmap) rather than a map: retire
+	// writes are a plain indexed store instead of a hash insert.
+	loadVals    []uint64
+	loadValsSet []bool
 
 	// tr is the observability sink; nil when tracing is disabled, so every
 	// hook is one never-taken branch on the disabled path.
@@ -99,16 +104,15 @@ type tickDelta struct {
 // hierarchy so that remote invalidations and local evictions snoop the LQ.
 func New(id int, cfg config.Config, hier *mem.Hierarchy, st *stats.Core) *Core {
 	c := &Core{
-		id:       id,
-		cfg:      cfg.Core,
-		model:    cfg.Model,
-		hier:     hier,
-		st:       st,
-		bp:       predictor.NewTAGE(),
-		ss:       predictor.NewStoreSet(),
-		l1Lat:    cfg.Mem.L1D.HitCycles,
-		sq:       newStoreQueue(cfg.Core.SQEntries),
-		loadVals: make(map[int]uint64),
+		id:    id,
+		cfg:   cfg.Core,
+		model: cfg.Model,
+		hier:  hier,
+		st:    st,
+		bp:    predictor.NewTAGE(),
+		ss:    predictor.NewStoreSet(),
+		l1Lat: cfg.Mem.L1D.HitCycles,
+		sq:    newStoreQueue(cfg.Core.SQEntries),
 	}
 	hier.SetInvalListener(id, c.onLineRemoved)
 	return c
@@ -120,6 +124,8 @@ func (c *Core) SetProgram(p isa.Program) {
 	c.prog = p
 	c.fetchIdx = 0
 	c.done = len(p) == 0
+	c.loadVals = make([]uint64, len(p))
+	c.loadValsSet = make([]bool, len(p))
 }
 
 // Done reports whether the core has retired its whole trace and drained its
@@ -131,8 +137,16 @@ func (c *Core) RegValue(r isa.Reg) uint64 { return c.regVal[r] }
 
 // LoadValue returns the retired value of the load at trace index idx.
 func (c *Core) LoadValue(idx int) (uint64, bool) {
-	v, ok := c.loadVals[idx]
-	return v, ok
+	if idx < 0 || idx >= len(c.loadVals) || !c.loadValsSet[idx] {
+		return 0, false
+	}
+	return c.loadVals[idx], true
+}
+
+// setLoadVal records the retired value of the load at trace index idx.
+func (c *Core) setLoadVal(idx int, val uint64) {
+	c.loadVals[idx] = val
+	c.loadValsSet[idx] = true
 }
 
 // Gate exposes the retire gate for tests and introspection.
@@ -294,7 +308,7 @@ func (c *Core) doRetire(e *entry, now uint64) {
 		if e.slf {
 			c.st.SLFLoads++
 		}
-		c.loadVals[e.traceIdx] = e.val
+		c.setLoadVal(e.traceIdx, e.val)
 		// The paper's mechanism: a retiring SLF load whose forwarding
 		// store is still in the SQ/SB closes the retire gate behind
 		// it (Fig. 8 step b). The presence check is the direct
@@ -325,7 +339,7 @@ func (c *Core) doRetire(e *entry, now uint64) {
 	case e.inst.Op == isa.OpRMW:
 		c.st.RetiredLoads++
 		c.st.RetiredStores++
-		c.loadVals[e.traceIdx] = e.val
+		c.setLoadVal(e.traceIdx, e.val)
 	}
 
 	if d := e.inst.Dst; d != isa.RegNone {
