@@ -1,0 +1,130 @@
+package sesa
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sesa/internal/config"
+	"sesa/internal/runner"
+	"sesa/internal/stats"
+	"sesa/internal/trace"
+)
+
+var updateEquiv = flag.Bool("update-equiv", false, "rewrite testdata/hotpath_equiv.golden.json from the current simulator")
+
+// equivProfiles is the refactor-equivalence workload set: a 505.mcf slice
+// (the pointer-chasing, stream-heavy sequential profile the hot-path work
+// targets) plus the two most synchronization-heavy parallel profiles, whose
+// cross-core invalidation traffic exercises squash/snoop event ordering the
+// way the litmus suite does.
+func equivProfiles() []struct {
+	name string
+	n    int
+} {
+	return []struct {
+		name string
+		n    int
+	}{
+		{"505.mcf", 4000},
+		{"x264", 2500},
+		{"ferret", 2500},
+	}
+}
+
+func equivJobs(t *testing.T, mode config.StepMode) []runner.Job {
+	t.Helper()
+	var jobs []runner.Job
+	for _, p := range equivProfiles() {
+		prof, ok := trace.Lookup(p.name)
+		if !ok {
+			t.Fatalf("unknown profile %q", p.name)
+		}
+		for _, m := range config.AllModels() {
+			jobs = append(jobs, runner.Job{
+				Profile:     prof,
+				Model:       m,
+				InstPerCore: p.n,
+				Seed:        42,
+				StepMode:    mode,
+			})
+		}
+	}
+	return jobs
+}
+
+// equivCell is one (profile, model) golden record: the complete machine
+// statistics plus the derived Table IV characterization. Any change to
+// event order, squash timing, forwarding decisions, or cycle accounting
+// shows up here.
+type equivCell struct {
+	Job   string
+	Stats *stats.Machine
+	Char  stats.Characterization
+}
+
+func equivMarshal(t *testing.T, results []runner.Result) []byte {
+	t.Helper()
+	cells := make([]equivCell, 0, len(results))
+	for i := range results {
+		r := &results[i]
+		if r.Err != nil {
+			t.Fatalf("job %s failed: %v", r.Job.Name(), r.Err)
+		}
+		cells = append(cells, equivCell{Job: r.Job.Name(), Stats: r.Stats, Char: r.Char})
+	}
+	b, err := json.MarshalIndent(cells, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(b, '\n')
+}
+
+// TestHotpathEquivalence pins the simulator's observable behavior across
+// memory-layout refactors: every (profile, model) cell must produce
+// byte-identical statistics under the naive and skip clocks, under 1 and 8
+// sweep workers, and against the checked-in golden generated before the
+// layout change. Run with -race in CI so data movement between workers is
+// exercised too. Regenerate with:
+//
+//	go test -run TestHotpathEquivalence -update-equiv .
+func TestHotpathEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second characterization sweep")
+	}
+	baseline, _ := runner.Pool{Workers: 1}.Run(equivJobs(t, config.StepNaive))
+	got := equivMarshal(t, baseline)
+
+	golden := filepath.Join("testdata", "hotpath_equiv.golden.json")
+	if *updateEquiv {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update-equiv)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("naive/jobs=1 sweep diverged from golden (regenerate with -update-equiv only if the change is intentional)")
+	}
+
+	variants := []struct {
+		name string
+		mode config.StepMode
+		jobs int
+	}{
+		{"naive/jobs=8", config.StepNaive, 8},
+		{"skip/jobs=1", config.StepSkip, 1},
+		{"skip/jobs=8", config.StepSkip, 8},
+	}
+	for _, v := range variants {
+		results, _ := runner.Pool{Workers: v.jobs}.Run(equivJobs(t, v.mode))
+		if b := equivMarshal(t, results); !bytes.Equal(b, got) {
+			t.Errorf("%s diverged from naive/jobs=1 baseline", v.name)
+		}
+	}
+}
