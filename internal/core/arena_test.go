@@ -1,0 +1,109 @@
+package core
+
+import "testing"
+
+func TestEntryRefPackUnpack(t *testing.T) {
+	if nilRef.index() != -1 {
+		t.Fatalf("nilRef.index() = %d, want -1", nilRef.index())
+	}
+	for _, tc := range []struct {
+		idx int32
+		gen uint32
+	}{{0, 0}, {0, 1}, {7, 0}, {279, 4294967295}, {1 << 20, 12345}} {
+		r := makeRef(tc.idx, tc.gen)
+		if r == nilRef {
+			t.Fatalf("makeRef(%d,%d) collided with nilRef", tc.idx, tc.gen)
+		}
+		if r.index() != tc.idx || r.gen() != tc.gen {
+			t.Errorf("round trip (%d,%d) -> (%d,%d)", tc.idx, tc.gen, r.index(), r.gen())
+		}
+	}
+}
+
+func TestArenaGenerationInvalidation(t *testing.T) {
+	a := newArena(4)
+	i := a.alloc()
+	r := a.refOf(i)
+	if !a.live(r) {
+		t.Fatal("fresh ref must be live")
+	}
+	a.ents[i].dynSeq = 42
+	a.release(i)
+	if a.live(r) {
+		t.Fatal("ref must go stale when its slot is released")
+	}
+	// Reuse of the slot must not revive the old ref.
+	j := a.alloc()
+	if j != i {
+		t.Fatalf("free list should hand back the released slot, got %d want %d", j, i)
+	}
+	if a.live(r) {
+		t.Fatal("old-generation ref must not match the slot's new occupant")
+	}
+	if !a.live(a.refOf(j)) {
+		t.Fatal("new ref must be live")
+	}
+	if a.ents[j].dynSeq != 0 {
+		t.Fatal("alloc must hand out a zeroed entry")
+	}
+}
+
+func TestArenaExhaustionPanics(t *testing.T) {
+	a := newArena(2)
+	a.alloc()
+	a.alloc()
+	defer func() {
+		if recover() == nil {
+			t.Error("allocating past capacity must panic")
+		}
+	}()
+	a.alloc()
+}
+
+func TestRingFIFOAndTruncate(t *testing.T) {
+	r := newRing(4)
+	refs := []entryRef{makeRef(0, 0), makeRef(1, 0), makeRef(2, 0), makeRef(3, 0)}
+	for _, v := range refs {
+		r.push(v)
+	}
+	if !r.full() {
+		t.Fatal("ring should be full")
+	}
+	for k, want := range refs {
+		if got := r.at(k); got != want {
+			t.Fatalf("at(%d) = %v, want %v", k, got, want)
+		}
+	}
+	// Pop two, push two: wrap-around keeps FIFO positions stable.
+	r.popFront()
+	r.popFront()
+	r.push(makeRef(4, 0))
+	r.push(makeRef(5, 0))
+	want := []entryRef{makeRef(2, 0), makeRef(3, 0), makeRef(4, 0), makeRef(5, 0)}
+	for k, w := range want {
+		if got := r.at(k); got != w {
+			t.Fatalf("after wrap: at(%d) = %v, want %v", k, got, w)
+		}
+	}
+	// Truncating the youngest suffix leaves survivors' positions intact,
+	// and the dropped positions still read their (now stale) refs — the
+	// property the issue scan's generation check relies on.
+	r.truncate(2)
+	if r.len() != 2 || r.at(0) != makeRef(2, 0) || r.at(1) != makeRef(3, 0) {
+		t.Fatal("truncate moved surviving positions")
+	}
+	if r.at(2) != makeRef(4, 0) {
+		t.Fatal("truncated position should still read the old ref")
+	}
+}
+
+func TestRingOverflowPanics(t *testing.T) {
+	r := newRing(1)
+	r.push(makeRef(0, 0))
+	defer func() {
+		if recover() == nil {
+			t.Error("pushing past capacity must panic")
+		}
+	}()
+	r.push(makeRef(1, 0))
+}

@@ -35,11 +35,14 @@ type Core struct {
 	fetchIdx int
 	dynSeq   uint64
 
-	rob []*entry
-	lq  []*entry
-	sq  *storeQueue
+	// ar is the entry arena every in-flight instruction lives in; rob, lq
+	// and sq hold refs into it.
+	ar  arena
+	rob ring
+	lq  ring
+	sq  storeQueue
 
-	regProd [isa.NumRegs]*entry
+	regProd [isa.NumRegs]entryRef
 	regVal  [isa.NumRegs]uint64
 
 	gate Gate
@@ -48,19 +51,34 @@ type Core struct {
 	// squash-refill windows.
 	redirectUntil uint64
 	// haltBranch blocks dispatch until a mispredicted branch resolves.
-	haltBranch *entry
+	haltBranch entryRef
 	// lastFence is the youngest in-flight fence; younger loads record it
 	// as their issue barrier.
-	lastFence *entry
+	lastFence entryRef
 	// rmws holds in-flight atomic RMWs. An RMW bypasses the store queue, so
 	// the SQ search can neither forward from it nor order a younger load
 	// behind it; overlapping younger loads block here until the RMW
 	// performs. The list compacts itself during the scan.
-	rmws []*entry
+	rmws []entryRef
 	// drainInflight and lastDrainWhen pipeline the SB drain while keeping
 	// insertion in order.
 	drainInflight int
 	lastDrainWhen uint64
+
+	// nDispatched and nLocalExec count the ROB entries the issue scan could
+	// act on: entries still waiting to issue, and entries executing locally
+	// (stIssued without a memory access in flight, i.e. with a pending
+	// complete at execDone). When both are zero the scan is provably a
+	// no-op and is skipped — the common state while every in-flight
+	// instruction waits on memory.
+	nDispatched int
+	nLocalExec  int
+
+	// wakeHints gates the wakeCycle scan. The two-level skip clock is the
+	// only consumer of a quiescent tick's wake report; under the naive
+	// stepper the value is registered but never read, so the machine turns
+	// the scan off and Tick reports sched.Never instead.
+	wakeHints bool
 
 	// loadVals records the retired value of each load, keyed by trace
 	// index. The trace length is known at SetProgram time, so it is a
@@ -112,11 +130,24 @@ func New(id int, cfg config.Config, hier *mem.Hierarchy, st *stats.Core) *Core {
 		bp:    predictor.NewTAGE(),
 		ss:    predictor.NewStoreSet(),
 		l1Lat: cfg.Mem.L1D.HitCycles,
-		sq:    newStoreQueue(cfg.Core.SQEntries),
+		// Arena bound: the ROB holds at most ROBEntries live entries and
+		// the SB at most SQEntries retired stores no longer in the ROB.
+		ar:  newArena(cfg.Core.ROBEntries + cfg.Core.SQEntries),
+		rob: newRing(cfg.Core.ROBEntries),
+		lq:  newRing(cfg.Core.LQEntries),
+		sq:  newStoreQueue(cfg.Core.SQEntries),
+
+		wakeHints: true,
 	}
 	hier.SetInvalListener(id, c.onLineRemoved)
 	return c
 }
+
+// SetWakeHints enables or disables quiescence wake reports. With hints off a
+// quiescent Tick returns sched.Never without scanning the ROB for the next
+// timed-work cycle. Only the skip stepper reads the reports; the naive
+// stepper disables them. Hints are on by default.
+func (c *Core) SetWakeHints(on bool) { c.wakeHints = on }
 
 // SetProgram installs the trace the core will execute. It must be called
 // before the first Tick.
@@ -162,10 +193,78 @@ func (c *Core) AttachHists(h *hist.Collector) { c.hc = h }
 
 // Occupancy returns the instantaneous ROB, LQ and SQ/SB occupancies, for
 // the interval-metrics sampler and for tests.
-func (c *Core) Occupancy() (rob, lq, sb int) { return len(c.rob), len(c.lq), c.sq.count }
+func (c *Core) Occupancy() (rob, lq, sb int) { return c.rob.len(), c.lq.len(), c.sq.count }
 
 // obsKey encodes a store key for an event payload.
 func obsKey(k key) int32 { return obs.EncodeKey(k.slot, k.sort) }
+
+// operandVal returns the current value of source operand n (1 or 2). A
+// live producer is read in place; a stale producer has retired, and because
+// retirement is in order and rename captured the *youngest* older producer,
+// no other writer of the register can have retired since — the
+// architectural register file holds exactly the producer's value.
+func (c *Core) operandVal(e *entry, n int) uint64 {
+	var prod entryRef
+	var val uint64
+	var reg isa.Reg
+	if n == 1 {
+		prod, val, reg = e.src1Prod, e.src1Val, e.inst.Src1
+	} else {
+		prod, val, reg = e.src2Prod, e.src2Val, e.inst.Src2
+	}
+	if reg == isa.RegNone {
+		return 0
+	}
+	if prod == nilRef {
+		return val
+	}
+	if i := prod.index(); c.ar.gens[i] == prod.gen() {
+		return c.ar.ents[i].val
+	}
+	return c.regVal[reg]
+}
+
+// operandReady reports whether source operand n is available. A stale
+// producer retired, hence completed.
+func (c *Core) operandReady(e *entry, n int) bool {
+	var prod entryRef
+	var reg isa.Reg
+	if n == 1 {
+		prod, reg = e.src1Prod, e.inst.Src1
+	} else {
+		prod, reg = e.src2Prod, e.inst.Src2
+	}
+	if reg == isa.RegNone || prod == nilRef {
+		return true
+	}
+	if i := prod.index(); c.ar.gens[i] == prod.gen() {
+		return c.ar.stat[i] >= stDone
+	}
+	return true
+}
+
+// storeData returns the store's data value; call only when dataKnown. Once
+// the store issues, the value has been latched into src1Val (see
+// tryIssueStore), so post-retirement readers (the SB drain, SLF) never
+// chase a recycled producer slot.
+func (c *Core) storeData(e *entry) uint64 {
+	if e.inst.Src1 == isa.RegNone {
+		return e.inst.Imm
+	}
+	if p := e.src1Prod; p != nilRef {
+		if i := p.index(); c.ar.gens[i] == p.gen() {
+			return c.ar.ents[i].val
+		}
+		return c.regVal[e.inst.Src1]
+	}
+	return e.src1Val
+}
+
+// forwardValue extracts the load's bytes from the store's data; call only
+// when contains(s, l).
+func (c *Core) forwardValue(s, l *entry) uint64 {
+	return forwardBytes(c.storeData(s), s.inst.Addr, l.inst.Addr, l.inst.EffSize())
+}
 
 // Tick advances the core one cycle and returns its quiescence report:
 // progressed is true when any state beyond the per-cycle counter deltas
@@ -188,12 +287,15 @@ func (c *Core) Tick(now uint64) (progressed bool, wake uint64) {
 	c.drainSB(now)
 	c.issue(now)
 	c.dispatch(now)
-	if c.fetchIdx >= len(c.prog) && len(c.rob) == 0 && c.sq.empty() {
+	if c.fetchIdx >= len(c.prog) && c.rob.len() == 0 && c.sq.empty() {
 		c.done = true
 		c.progressed = true
 	}
 	if c.progressed {
 		return true, now + 1
+	}
+	if !c.wakeHints {
+		return false, sched.Never
 	}
 	return false, c.wakeCycle(now)
 }
@@ -219,20 +321,29 @@ func (c *Core) SkipCycles(n uint64) {
 // core can make progress — or change its per-cycle counter deltas —
 // without a memory-system event: the pipeline-depth window of the ROB
 // head, a running execution latency, or the end of a front-end redirect
-// window. Everything else the core can wait on arrives as an event.
+// window. Everything else the core can wait on arrives as an event. The
+// scan touches only the arena's SoA arrays.
 func (c *Core) wakeCycle(now uint64) uint64 {
 	w := uint64(sched.Never)
-	if len(c.rob) > 0 {
-		if e := c.rob[0]; e.status == stDone && now < e.minRetire {
-			w = e.minRetire
+	if c.rob.len() > 0 {
+		if i := c.rob.at(0).index(); c.ar.stat[i] == stDone && now < c.ar.minRetire[i] {
+			w = c.ar.minRetire[i]
 		}
 	}
-	for _, e := range c.rob {
-		if e.alive && e.status == stIssued && !e.inflight && e.execDone > now && e.execDone < w {
-			w = e.execDone
+	if c.nLocalExec > 0 {
+		sa, sb := c.rob.spans()
+		for _, span := range [2][]entryRef{sa, sb} {
+			for _, r := range span {
+				i := r.index()
+				if c.ar.stat[i] == stIssued && !c.ar.inflight[i] {
+					if d := c.ar.execDone[i]; d > now && d < w {
+						w = d
+					}
+				}
+			}
 		}
 	}
-	if c.fetchIdx < len(c.prog) && c.haltBranch == nil && now < c.redirectUntil && c.redirectUntil < w {
+	if c.fetchIdx < len(c.prog) && c.haltBranch == nilRef && now < c.redirectUntil && c.redirectUntil < w {
 		w = c.redirectUntil
 	}
 	return w
@@ -241,18 +352,19 @@ func (c *Core) wakeCycle(now uint64) uint64 {
 // ---- retire -----------------------------------------------------------------
 
 func (c *Core) retire(now uint64) {
-	for n := 0; n < c.cfg.Width && len(c.rob) > 0; n++ {
-		e := c.rob[0]
-		if e.status != stDone || now < e.minRetire {
+	for n := 0; n < c.cfg.Width && c.rob.len() > 0; n++ {
+		i := c.rob.at(0).index()
+		e := &c.ar.ents[i]
+		if c.ar.stat[i] != stDone || now < c.ar.minRetire[i] {
 			return
 		}
-		if e.inst.Op == isa.OpFence && c.sq.anyOlderUnwritten(e.dynSeq) {
+		if e.inst.Op == isa.OpFence && c.sq.anyOlderUnwritten(&c.ar, e.dynSeq) {
 			return
 		}
 		if e.isLoad() && c.loadRetireBlocked(e, now) {
 			return
 		}
-		c.doRetire(e, now)
+		c.doRetire(i, e, now)
 	}
 }
 
@@ -274,7 +386,7 @@ func (c *Core) loadRetireBlocked(e *entry, now uint64) bool {
 	case config.SLFSpec370:
 		// SC-like speculation: the SLF load itself is speculative and
 		// cannot retire until the store buffer empties.
-		if e.slf && c.sq.anyOlderUnwritten(e.dynSeq) {
+		if e.slf && c.sq.anyOlderUnwritten(&c.ar, e.dynSeq) {
 			if !e.gateStalled {
 				e.gateStalled = true
 				c.st.SLFSpecRetWaits++
@@ -288,22 +400,26 @@ func (c *Core) loadRetireBlocked(e *entry, now uint64) bool {
 	return false
 }
 
-func (c *Core) doRetire(e *entry, now uint64) {
+func (c *Core) doRetire(i int32, e *entry, now uint64) {
 	c.progressed = true
-	e.status = stRetired
-	c.rob = c.rob[1:]
+	c.ar.stat[i] = stRetired
+	c.rob.popFront()
 	c.st.RetiredInsts++
 	if c.tr != nil {
 		c.tr.Record(obs.Event{Cycle: now, Kind: obs.KRetire, Op: e.inst.Op,
 			Seq: e.dynSeq, TraceIdx: int32(e.traceIdx), Key: obs.KeyNone, Addr: e.inst.Addr})
 	}
 
+	// A retiring store keeps its arena slot until the SB drain writes it
+	// to the L1; everything else is recycled at the end of this function.
+	freeSlot := !e.isStore()
+
 	switch {
 	case e.isLoad():
-		if c.lq[0] != e {
+		if c.lq.at(0).index() != i {
 			panic("core: LQ head out of sync with ROB")
 		}
-		c.lq = c.lq[1:]
+		c.lq.popFront()
 		c.st.RetiredLoads++
 		if e.slf {
 			c.st.SLFLoads++
@@ -312,9 +428,10 @@ func (c *Core) doRetire(e *entry, now uint64) {
 		// The paper's mechanism: a retiring SLF load whose forwarding
 		// store is still in the SQ/SB closes the retire gate behind
 		// it (Fig. 8 step b). The presence check is the direct
-		// slot+sorting-bit compare.
+		// slot+sorting-bit compare; a live forwarding store is by
+		// construction not yet written to the L1.
 		if (c.model == config.SLFSoS370 || c.model == config.SLFSoSKey370) &&
-			e.slf && c.sq.present(e.slfKey) && !e.slfStore.writtenL1 {
+			e.slf && c.sq.present(&c.ar, e.slfKey) && c.ar.live(e.slfStore) {
 			gk := obs.KeyNone
 			if c.model == config.SLFSoSKey370 {
 				c.gate.CloseKeyed(e.slfKey)
@@ -344,14 +461,14 @@ func (c *Core) doRetire(e *entry, now uint64) {
 
 	if d := e.inst.Dst; d != isa.RegNone {
 		c.regVal[d] = e.val
-		if c.regProd[d] == e {
-			c.regProd[d] = nil
+		if c.regProd[d].index() == i {
+			c.regProd[d] = nilRef
 		}
 	}
-	if c.lastFence == e {
-		// The fence stays the barrier pointer for younger loads; its
-		// retired status is what unblocks them.
-		_ = e
+	// A retiring fence's slot is recycled; younger loads holding it as
+	// their barrier see a stale ref, which is exactly "fence retired".
+	if freeSlot {
+		c.ar.release(i)
 	}
 }
 
@@ -366,17 +483,29 @@ const maxDrainInflight = 8
 // insertion is preserved by chaining each store's completion to be no
 // earlier than its predecessor's (and at most one insertion per cycle).
 func (c *Core) drainSB(now uint64) {
-	c.sq.forEach(func(e *entry) {
+	q := &c.sq
+	for i, n := q.head, q.count; n > 0; n-- {
 		if c.drainInflight >= maxDrainInflight {
 			return
 		}
-		if e.status != stRetired || e.draining || e.writtenL1 {
+		r := q.slots[i]
+		if i++; i == len(q.slots) {
+			i = 0
+		}
+		idx := r.index()
+		st := &c.ar.ents[idx]
+		if c.ar.stat[idx] != stRetired {
+			// Retirement is in order and the queue is in program order, so
+			// the retired (drainable) stores are the oldest prefix: nothing
+			// younger can be drainable either.
 			return
 		}
-		e.draining = true
+		if st.draining {
+			continue
+		}
+		st.draining = true
 		c.progressed = true
 		c.drainInflight++
-		st := e
 		if st.inst.Op != isa.OpStore {
 			panic(fmt.Sprintf("core: non-store %v in SB", st.inst))
 		}
@@ -386,20 +515,24 @@ func (c *Core) drainSB(now uint64) {
 		if c.lastDrainWhen > 0 {
 			notBefore = c.lastDrainWhen + 2
 		}
-		when := c.hier.Store(c.id, st.inst.Addr, st.inst.EffSize(), st.storeData(), now, notBefore, func(w uint64) {
-			c.storeWrote(st, w)
+		when := c.hier.Store(c.id, st.inst.Addr, st.inst.EffSize(), c.storeData(st), now, notBefore, func(w uint64) {
+			c.storeWrote(r, w)
 		})
 		c.lastDrainWhen = when
-	})
+	}
 }
 
 // storeWrote runs at the store's memory-order insertion cycle: the store
 // leaves the SB and, if it forwarded to an SLF load that locked the retire
-// gate, reopens the gate with its key (Fig. 8 step c).
-func (c *Core) storeWrote(e *entry, when uint64) {
+// gate, reopens the gate with its key (Fig. 8 step c). The arena slot is
+// recycled at the end — from here on, every ref to this store (SLF loads'
+// slfStore, NoSpec waitStore) reads as stale, meaning "written".
+func (c *Core) storeWrote(r entryRef, when uint64) {
+	i := r.index()
+	e := &c.ar.ents[i]
 	e.writtenL1 = true
 	c.drainInflight--
-	c.sq.free(e)
+	c.sq.free(r)
 	if c.hc != nil {
 		c.hc.Observe(hist.SBResidency, when-e.retiredAt)
 	}
@@ -418,7 +551,7 @@ func (c *Core) storeWrote(e *entry, when uint64) {
 		}
 	}
 	// The keyless SLFSoS variant reopens only when the SB drains.
-	if c.model == config.SLFSoS370 && !c.sq.anyRetiredUnwritten() {
+	if c.model == config.SLFSoS370 && !c.sq.anyRetiredUnwritten(&c.ar) {
 		if c.gate.SBDrained() {
 			c.st.GateReopens++
 			if c.hc != nil {
@@ -430,35 +563,54 @@ func (c *Core) storeWrote(e *entry, when uint64) {
 			}
 		}
 	}
+	c.ar.release(i)
 }
 
 // ---- issue / execute ----------------------------------------------------------
 
 func (c *Core) issue(now uint64) {
+	// Entries the scan can act on are counted as they change state: when
+	// nothing is waiting to issue and nothing is executing locally — every
+	// in-flight instruction is waiting on memory — the scan is a no-op.
+	if c.nDispatched == 0 && c.nLocalExec == 0 {
+		return
+	}
 	budget := issueWidth
-	for _, e := range c.rob {
-		if !e.alive {
-			continue
-		}
-		switch e.status {
-		case stIssued:
-			if !e.inflight && now >= e.execDone {
-				c.complete(e, now)
-			}
-		case stDispatched:
-			if budget == 0 {
+	// Iterate a snapshot of the ROB by position: a mid-scan squash
+	// truncates the youngest suffix in place, and the generation check
+	// skips the flushed positions exactly like the old `alive` flag did.
+	sa, sb := c.rob.spans()
+	for _, span := range [2][]entryRef{sa, sb} {
+		for _, r := range span {
+			i := r.index()
+			if c.ar.gens[i] != r.gen() {
 				continue
 			}
-			if c.tryIssue(e, now) {
-				c.progressed = true
-				budget--
-				if c.tr != nil {
-					c.tr.Record(obs.Event{Cycle: now, Kind: obs.KIssue, Op: e.inst.Op,
-						Seq: e.dynSeq, TraceIdx: int32(e.traceIdx), Key: obs.KeyNone, Addr: e.inst.Addr})
-					if e.status >= stDone {
-						// Stores, fences and nops complete in place.
-						c.tr.Record(obs.Event{Cycle: now, Kind: obs.KPerform, Op: e.inst.Op,
+			switch c.ar.stat[i] {
+			case stIssued:
+				if !c.ar.inflight[i] && now >= c.ar.execDone[i] {
+					c.complete(i, now)
+				}
+			case stDispatched:
+				if budget == 0 {
+					continue
+				}
+				e := &c.ar.ents[i]
+				if c.tryIssue(i, e, now) {
+					c.progressed = true
+					c.nDispatched--
+					if c.ar.stat[i] == stIssued && !c.ar.inflight[i] {
+						c.nLocalExec++
+					}
+					budget--
+					if c.tr != nil {
+						c.tr.Record(obs.Event{Cycle: now, Kind: obs.KIssue, Op: e.inst.Op,
 							Seq: e.dynSeq, TraceIdx: int32(e.traceIdx), Key: obs.KeyNone, Addr: e.inst.Addr})
+						if c.ar.stat[i] >= stDone {
+							// Stores, fences and nops complete in place.
+							c.tr.Record(obs.Event{Cycle: now, Kind: obs.KPerform, Op: e.inst.Op,
+								Seq: e.dynSeq, TraceIdx: int32(e.traceIdx), Key: obs.KeyNone, Addr: e.inst.Addr})
+						}
 					}
 				}
 			}
@@ -468,98 +620,69 @@ func (c *Core) issue(now uint64) {
 
 // complete finishes a locally executing instruction (ALU, branch, or a
 // forwarded load whose latency elapsed).
-func (c *Core) complete(e *entry, now uint64) {
+func (c *Core) complete(i int32, now uint64) {
 	c.progressed = true
+	c.nLocalExec--
+	e := &c.ar.ents[i]
 	switch e.inst.Op {
 	case isa.OpALU:
-		e.val = e.srcVal(1) + e.srcVal(2) + e.inst.Imm
+		e.val = c.operandVal(e, 1) + c.operandVal(e, 2) + e.inst.Imm
 	case isa.OpBranch:
 		if e.predWrong {
 			c.st.BranchMispredicts++
 			c.redirectUntil = maxU64(c.redirectUntil, now+uint64(c.cfg.BranchMispredictPenalty))
-			if c.haltBranch == e {
-				c.haltBranch = nil
+			if c.haltBranch.index() == i {
+				c.haltBranch = nilRef
 			}
 		}
 	case isa.OpLoad:
-		if e.slf {
-			e.val = forwardValue(e.slfStore, e)
-		}
+		// An SLF load's value was latched at forwarding time (the store
+		// data was final then; its producer's slot may since have been
+		// recycled).
 	}
-	e.status = stDone
-	e.execDone = now
+	c.ar.stat[i] = stDone
+	c.ar.execDone[i] = now
 	if c.tr != nil {
 		c.tr.Record(obs.Event{Cycle: now, Kind: obs.KPerform, Op: e.inst.Op,
 			Seq: e.dynSeq, TraceIdx: int32(e.traceIdx), Key: obs.KeyNone, Addr: e.inst.Addr, N: e.val})
 	}
 }
 
-// srcVal returns the current value of source operand n (1 or 2).
-func (e *entry) srcVal(n int) uint64 {
-	var prod *entry
-	var val uint64
-	var reg isa.Reg
-	if n == 1 {
-		prod, val, reg = e.src1Prod, e.src1Val, e.inst.Src1
-	} else {
-		prod, val, reg = e.src2Prod, e.src2Val, e.inst.Src2
-	}
-	if reg == isa.RegNone {
-		return 0
-	}
-	if prod != nil {
-		return prod.val
-	}
-	return val
-}
-
-// srcReady reports whether source operand n is available.
-func (e *entry) srcReady(n int) bool {
-	var prod *entry
-	var reg isa.Reg
-	if n == 1 {
-		prod, reg = e.src1Prod, e.inst.Src1
-	} else {
-		prod, reg = e.src2Prod, e.inst.Src2
-	}
-	return reg == isa.RegNone || prod == nil || prod.status >= stDone
-}
-
-func (c *Core) tryIssue(e *entry, now uint64) bool {
+func (c *Core) tryIssue(i int32, e *entry, now uint64) bool {
 	switch e.inst.Op {
 	case isa.OpALU:
-		if e.srcReady(1) && e.srcReady(2) {
-			e.status = stIssued
-			e.execDone = now + 1 + uint64(e.inst.Lat)
+		if c.operandReady(e, 1) && c.operandReady(e, 2) {
+			c.ar.stat[i] = stIssued
+			c.ar.execDone[i] = now + 1 + uint64(e.inst.Lat)
 			return true
 		}
 	case isa.OpBranch:
-		if e.srcReady(1) {
-			e.status = stIssued
-			e.execDone = now + 1
+		if c.operandReady(e, 1) {
+			c.ar.stat[i] = stIssued
+			c.ar.execDone[i] = now + 1
 			return true
 		}
 	case isa.OpNop:
-		e.status = stDone
-		e.execDone = now
+		c.ar.stat[i] = stDone
+		c.ar.execDone[i] = now
 		return true
 	case isa.OpFence:
 		// Fences "execute" immediately; retirement enforces the drain.
-		e.status = stDone
-		e.execDone = now
+		c.ar.stat[i] = stDone
+		c.ar.execDone[i] = now
 		return true
 	case isa.OpStore:
-		return c.tryIssueStore(e, now)
+		return c.tryIssueStore(i, e, now)
 	case isa.OpLoad:
-		return c.tryIssueLoad(e, now)
+		return c.tryIssueLoad(i, e, now)
 	case isa.OpRMW:
-		return c.tryIssueRMW(e, now)
+		return c.tryIssueRMW(i, e, now)
 	}
 	return false
 }
 
-func (c *Core) tryIssueStore(e *entry, now uint64) bool {
-	if !e.addrResolved && e.addrKnown() {
+func (c *Core) tryIssueStore(i int32, e *entry, now uint64) bool {
+	if !e.addrResolved && c.ar.addrKnown(e) {
 		e.addrResolved = true
 		c.progressed = true
 		c.checkDependenceViolation(e, now)
@@ -567,9 +690,16 @@ func (c *Core) tryIssueStore(e *entry, now uint64) bool {
 		// hits in the L1.
 		c.hier.PrefetchOwner(c.id, e.inst.Addr, now)
 	}
-	if e.addrResolved && e.dataKnown() {
-		e.status = stDone
-		e.execDone = now + 1
+	if e.addrResolved && c.ar.dataKnown(e) {
+		// Latch the data value now: the producing entry completes before
+		// this point and may be recycled long before the SB drain (or an
+		// SLF read) needs the value.
+		if e.inst.Src1 != isa.RegNone && e.src1Prod != nilRef {
+			e.src1Val = c.operandVal(e, 1)
+			e.src1Prod = nilRef
+		}
+		c.ar.stat[i] = stDone
+		c.ar.execDone[i] = now + 1
 		return true
 	}
 	return false
@@ -580,98 +710,104 @@ func (c *Core) tryIssueStore(e *entry, now uint64) bool {
 // forwarding from this store (or a younger one) is a memory-dependence
 // misspeculation; it is squashed and the StoreSet predictor trained.
 func (c *Core) checkDependenceViolation(s *entry, now uint64) {
-	for _, l := range c.lq {
-		if l.dynSeq <= s.dynSeq || l.status < stDone {
+	n := c.lq.len()
+	for k := 0; k < n; k++ {
+		li := c.lq.at(k).index()
+		l := &c.ar.ents[li]
+		if l.dynSeq <= s.dynSeq || c.ar.stat[li] < stDone {
 			continue
 		}
 		if !overlaps(s, l) {
 			continue
 		}
-		if l.slf && l.slfStore.dynSeq > s.dynSeq {
+		if l.slf && l.slfStoreSeq > s.dynSeq {
 			continue // forwarded from a younger store: shadowed
 		}
 		c.ss.TrainViolation(l.inst.PC, s.inst.PC)
 		c.st.DepSquashes++
-		c.squashFrom(l, now, false, false, obs.CauseStoreSet, s.inst.Addr)
+		c.squashFrom(li, now, false, false, obs.CauseStoreSet, s.inst.Addr)
 		return
 	}
 }
 
-func (c *Core) tryIssueRMW(e *entry, now uint64) bool {
+func (c *Core) tryIssueRMW(i int32, e *entry, now uint64) bool {
 	// Atomic RMW: executes at the ROB head with the SB drained, giving it
 	// TSO atomic (and trivially store-atomic) semantics.
-	if len(c.rob) == 0 || c.rob[0] != e || !e.addrKnown() {
+	if c.rob.len() == 0 || c.rob.at(0).index() != i || !c.ar.addrKnown(e) {
 		return false
 	}
-	if c.sq.anyOlderUnwritten(e.dynSeq) {
+	if c.sq.anyOlderUnwritten(&c.ar, e.dynSeq) {
 		return false
 	}
-	e.status = stIssued
-	e.inflight = true
-	rmw := e
+	c.ar.stat[i] = stIssued
+	c.ar.inflight[i] = true
+	rmw := c.ar.refOf(i)
 	c.hier.RMW(c.id, e.inst.Addr, e.inst.EffSize(), e.inst.Imm, now, func(old, when uint64) {
-		if !rmw.alive {
+		if !c.ar.live(rmw) {
 			return
 		}
-		rmw.val = old
-		rmw.inflight = false
-		rmw.status = stDone
-		rmw.execDone = when
+		ri := rmw.index()
+		re := &c.ar.ents[ri]
+		re.val = old
+		c.ar.inflight[ri] = false
+		c.ar.stat[ri] = stDone
+		c.ar.execDone[ri] = when
 		if c.tr != nil {
-			c.tr.Record(obs.Event{Cycle: when, Kind: obs.KPerform, Op: rmw.inst.Op,
-				Seq: rmw.dynSeq, TraceIdx: int32(rmw.traceIdx), Key: obs.KeyNone, Addr: rmw.inst.Addr, N: old})
+			c.tr.Record(obs.Event{Cycle: when, Kind: obs.KPerform, Op: re.inst.Op,
+				Seq: re.dynSeq, TraceIdx: int32(re.traceIdx), Key: obs.KeyNone, Addr: re.inst.Addr, N: old})
 		}
 	})
 	return true
 }
 
-func (c *Core) tryIssueLoad(e *entry, now uint64) bool {
-	if !e.addrKnown() {
+func (c *Core) tryIssueLoad(i int32, e *entry, now uint64) bool {
+	if !c.ar.addrKnown(e) {
 		return false
 	}
-	if e.fenceBarrier != nil && e.fenceBarrier.status != stRetired {
+	if e.fenceBarrier != nilRef && c.ar.live(e.fenceBarrier) {
 		return false // serialize loads behind an in-flight fence
 	}
 	if len(c.rmws) > 0 && c.rmwBlocked(e) {
 		return false
 	}
-	e.lineAddr = c.hier.LineAddr(e.inst.Addr)
+	c.ar.lineAddr[i] = c.hier.LineAddr(e.inst.Addr)
 
 	// Blocked on a specific store writing to the L1 (370-NoSpec blanket
-	// enforcement, or a partial-overlap forwarding block)?
-	if e.waitStore != nil {
-		if !e.waitStore.writtenL1 {
+	// enforcement, or a partial-overlap forwarding block)? A live ref is
+	// an unwritten store; a stale one has written.
+	if e.waitStore != nilRef {
+		if c.ar.live(e.waitStore) {
 			return false
 		}
-		e.waitStore = nil
-		c.issueToMemory(e, now)
+		e.waitStore = nilRef
+		c.issueToMemory(i, e, now)
 		return true
 	}
 	// Blocked on an older store's address (StoreSet dependence or
 	// 370-NoSpec waiting)?
-	if e.waitAddr != nil {
-		if !e.waitAddr.addrKnown() {
+	if e.waitAddr != nilRef {
+		if wi := e.waitAddr.index(); c.ar.gens[wi] == e.waitAddr.gen() && !c.ar.addrKnown(&c.ar.ents[wi]) {
 			return false
 		}
-		e.waitAddr = nil
+		e.waitAddr = nilRef
 		c.progressed = true
 		// fall through and re-disambiguate
 	}
 
 	c.st.SQSearches++
 	c.delta.sqSearches++
-	match, unknown := c.sq.youngestOlderMatch(e)
+	matchIdx, unknownIdx := c.sq.youngestOlderMatch(&c.ar, e)
 
 	if c.model == config.NoSpec370 {
 		// Blanket enforcement: wait for all older store addresses; on a
 		// match, wait for that store's L1 write (IBM 370, Section II-C).
-		if unknown != nil {
-			e.waitAddr = unknown
+		if unknownIdx >= 0 {
+			e.waitAddr = c.ar.refOf(unknownIdx)
 			c.progressed = true
 			return false
 		}
-		if match != nil {
-			e.waitStore = match
+		if matchIdx >= 0 {
+			e.waitStore = c.ar.refOf(matchIdx)
 			c.progressed = true
 			if !e.noSpecWaited {
 				e.noSpecWaited = true
@@ -679,37 +815,42 @@ func (c *Core) tryIssueLoad(e *entry, now uint64) bool {
 			}
 			return false
 		}
-		c.issueToMemory(e, now)
+		c.issueToMemory(i, e, now)
 		return true
 	}
 
-	if unknown != nil && c.ss.PredictDependent(e.inst.PC, unknown.inst.PC) {
-		e.waitAddr = unknown
+	if unknownIdx >= 0 && c.ss.PredictDependent(e.inst.PC, c.ar.ents[unknownIdx].inst.PC) {
+		e.waitAddr = c.ar.refOf(unknownIdx)
 		c.progressed = true
 		return false
 	}
-	if match != nil {
+	if matchIdx >= 0 {
+		match := &c.ar.ents[matchIdx]
 		if !contains(match, e) {
 			// Partial overlap: cannot forward; wait for the store's
 			// L1 write, as conventional cores do.
-			e.waitStore = match
+			e.waitStore = c.ar.refOf(matchIdx)
 			c.progressed = true
 			return false
 		}
-		if !match.dataKnown() {
+		if !c.ar.dataKnown(match) {
 			return false // wait for the store data
 		}
 		// Store-to-load forwarding: the load becomes an SLF load and
 		// copies the store's key (Fig. 8 step a). Under the paper's
 		// insight the SLF load is NOT speculative; it is the source
-		// of SA-speculation for younger loads.
+		// of SA-speculation for younger loads. The forwarded value and
+		// the store's dynSeq are latched here — both are final — so no
+		// later reader chases the store's (recyclable) slot.
 		e.slf = true
-		e.slfStore = match
+		e.slfStore = c.ar.refOf(matchIdx)
+		e.slfStoreSeq = match.dynSeq
 		e.slfKey = match.sqKey
-		e.status = stIssued
-		e.execDone = now + uint64(c.l1Lat)
+		e.val = c.forwardValue(match, e)
+		c.ar.stat[i] = stIssued
+		c.ar.execDone[i] = now + uint64(c.l1Lat)
 		if c.hc != nil {
-			c.hc.Observe(hist.LoadSLF, e.execDone-now)
+			c.hc.Observe(hist.LoadSLF, c.ar.execDone[i]-now)
 		}
 		if c.tr != nil {
 			c.tr.Record(obs.Event{Cycle: now, Kind: obs.KSLFHit, Op: e.inst.Op,
@@ -717,7 +858,7 @@ func (c *Core) tryIssueLoad(e *entry, now uint64) bool {
 		}
 		return true
 	}
-	c.issueToMemory(e, now)
+	c.issueToMemory(i, e, now)
 	return true
 }
 
@@ -731,36 +872,40 @@ func (c *Core) rmwBlocked(e *entry) bool {
 	live := c.rmws[:0]
 	blocked := false
 	for _, r := range c.rmws {
-		if !r.alive || r.status >= stDone {
+		ri := r.index()
+		if c.ar.gens[ri] != r.gen() || c.ar.stat[ri] >= stDone {
 			continue
 		}
+		re := &c.ar.ents[ri]
 		live = append(live, r)
-		if r.dynSeq < e.dynSeq && overlaps(r, e) {
+		if re.dynSeq < e.dynSeq && overlaps(re, e) {
 			blocked = true
 		}
 	}
 	for i := len(live); i < len(c.rmws); i++ {
-		c.rmws[i] = nil
+		c.rmws[i] = nilRef
 	}
 	c.rmws = live
 	return blocked
 }
 
-func (c *Core) issueToMemory(e *entry, now uint64) {
-	e.status = stIssued
-	e.inflight = true
-	ld := e
+func (c *Core) issueToMemory(i int32, e *entry, now uint64) {
+	c.ar.stat[i] = stIssued
+	c.ar.inflight[i] = true
+	ld := c.ar.refOf(i)
 	c.hier.Load(c.id, e.inst.Addr, e.inst.EffSize(), now, func(val, when uint64) {
-		if !ld.alive {
+		if !c.ar.live(ld) {
 			return
 		}
-		ld.val = val
-		ld.inflight = false
-		ld.status = stDone
-		ld.execDone = when
+		li := ld.index()
+		le := &c.ar.ents[li]
+		le.val = val
+		c.ar.inflight[li] = false
+		c.ar.stat[li] = stDone
+		c.ar.execDone[li] = when
 		if c.tr != nil {
-			c.tr.Record(obs.Event{Cycle: when, Kind: obs.KPerform, Op: ld.inst.Op,
-				Seq: ld.dynSeq, TraceIdx: int32(ld.traceIdx), Key: obs.KeyNone, Addr: ld.inst.Addr, N: val})
+			c.tr.Record(obs.Event{Cycle: when, Kind: obs.KPerform, Op: le.inst.Op,
+				Seq: le.dynSeq, TraceIdx: int32(le.traceIdx), Key: obs.KeyNone, Addr: le.inst.Addr, N: val})
 		}
 	})
 }
@@ -771,7 +916,7 @@ func (c *Core) dispatch(now uint64) {
 	if now < c.redirectUntil {
 		return
 	}
-	if c.haltBranch != nil {
+	if c.haltBranch != nilRef {
 		// A mispredicted branch is in flight: the front end fetches the
 		// wrong path until the branch resolves (handled in complete).
 		return
@@ -781,14 +926,14 @@ func (c *Core) dispatch(now uint64) {
 			return
 		}
 		in := c.prog[c.fetchIdx]
-		if len(c.rob) >= c.cfg.ROBEntries {
+		if c.rob.full() {
 			if n == 0 {
 				c.st.StallCycles[stats.StallROB]++
 				c.delta.stall = int8(stats.StallROB)
 			}
 			return
 		}
-		if in.Op == isa.OpLoad && len(c.lq) >= c.cfg.LQEntries {
+		if in.Op == isa.OpLoad && c.lq.full() {
 			if n == 0 {
 				c.st.StallCycles[stats.StallLQ]++
 				c.delta.stall = int8(stats.StallLQ)
@@ -808,33 +953,34 @@ func (c *Core) dispatch(now uint64) {
 
 func (c *Core) dispatchOne(in isa.Inst, now uint64) {
 	c.progressed = true
+	c.nDispatched++
 	c.dynSeq++
-	e := &entry{
-		inst:      in,
-		traceIdx:  c.fetchIdx,
-		dynSeq:    c.dynSeq,
-		alive:     true,
-		minRetire: now + uint64(c.cfg.PipelineDepth),
-	}
+	i := c.ar.alloc()
+	e := &c.ar.ents[i]
+	e.inst = in
+	e.traceIdx = c.fetchIdx
+	e.dynSeq = c.dynSeq
+	c.ar.minRetire[i] = now + uint64(c.cfg.PipelineDepth)
+	ref := c.ar.refOf(i)
 	c.fetchIdx++
 
 	// Rename: capture producers or values for the source operands.
 	if in.Src1 != isa.RegNone {
-		if p := c.regProd[in.Src1]; p != nil {
+		if p := c.regProd[in.Src1]; p != nilRef {
 			e.src1Prod = p
 		} else {
 			e.src1Val = c.regVal[in.Src1]
 		}
 	}
 	if in.Src2 != isa.RegNone {
-		if p := c.regProd[in.Src2]; p != nil {
+		if p := c.regProd[in.Src2]; p != nilRef {
 			e.src2Prod = p
 		} else {
 			e.src2Val = c.regVal[in.Src2]
 		}
 	}
 	if in.Dst != isa.RegNone {
-		c.regProd[in.Dst] = e
+		c.regProd[in.Dst] = ref
 	}
 
 	if c.tr != nil {
@@ -842,24 +988,24 @@ func (c *Core) dispatchOne(in isa.Inst, now uint64) {
 			Seq: e.dynSeq, TraceIdx: int32(e.traceIdx), Key: obs.KeyNone, Addr: in.Addr})
 	}
 
-	c.rob = append(c.rob, e)
+	c.rob.push(ref)
 	switch in.Op {
 	case isa.OpFence:
-		c.lastFence = e
+		c.lastFence = ref
 	case isa.OpLoad:
 		e.fenceBarrier = c.lastFence
-		c.lq = append(c.lq, e)
+		c.lq.push(ref)
 	case isa.OpRMW:
-		c.rmws = append(c.rmws, e)
+		c.rmws = append(c.rmws, ref)
 	case isa.OpStore:
-		c.sq.alloc(e)
+		c.sq.alloc(ref, e)
 	case isa.OpBranch:
 		// Train in dispatch order so the global history is coherent;
 		// the penalty applies when the branch resolves.
 		correct := c.bp.Update(in.PC, in.Taken)
 		if !correct {
 			e.predWrong = true
-			c.haltBranch = e
+			c.haltBranch = ref
 		}
 	}
 }

@@ -10,6 +10,13 @@
 // messages from the memory hierarchy snoop the load queue and squash
 // performed speculative loads, exactly the squash-and-reexecute discipline
 // the paper builds on.
+//
+// In-flight instructions live in a per-core entry arena: a fixed-capacity
+// dense slice indexed by generation-tagged entryRef handles instead of a
+// heap-allocated, pointer-linked graph. The hot per-entry scalars scanned
+// every cycle (status, execDone, minRetire, lineAddr, inflight) are split
+// into struct-of-arrays siblings of the arena so the retire/issue/wake
+// scans walk a few cache lines instead of chasing pointers.
 package core
 
 import (
@@ -33,45 +40,70 @@ const (
 	stRetired
 )
 
+// entryRef is a generation-tagged handle to an arena slot: slot index plus
+// one in the high half, the slot's generation at hand-out in the low half.
+// The zero value is the nil reference. A slot's generation is bumped every
+// time it is freed, so a ref held across retirement, squash, or an L1-write
+// event detects staleness with one compare — replacing the old layout's
+// `alive` flag and pointer identity. Because squashes flush a contiguous
+// youngest suffix and retirement is in order, a stale ref from a live entry
+// always means "that instruction retired (or its store wrote to the L1)",
+// never "an unrelated instruction reused the slot under me".
+type entryRef uint64
+
+// nilRef is the null entry reference.
+const nilRef entryRef = 0
+
+func makeRef(idx int32, gen uint32) entryRef {
+	return entryRef(uint64(idx+1)<<32 | uint64(gen))
+}
+
+// index returns the arena slot, or -1 for nilRef.
+func (r entryRef) index() int32 { return int32(r>>32) - 1 }
+
+// gen returns the generation the ref was minted with.
+func (r entryRef) gen() uint32 { return uint32(r) }
+
 // entry is one in-flight instruction: a ROB entry, plus the LQ or SQ/SB
-// fields when it is a memory operation.
+// fields when it is a memory operation. The per-cycle-scanned scalars
+// (status, execDone, minRetire, lineAddr, inflight) live in the arena's
+// struct-of-arrays siblings, not here.
 type entry struct {
 	inst     isa.Inst
 	traceIdx int    // index in the core's program
 	dynSeq   uint64 // per-core dynamic sequence number (re-execution gets a new one)
-	status   status
-	alive    bool // false once squashed; stale memory callbacks check this
 
 	// Operand tracking. A nil producer means the value was captured at
-	// dispatch time.
-	src1Prod *entry
-	src2Prod *entry
+	// dispatch time. A stale producer ref means the producer retired; its
+	// value is then the architectural register value (in-order retirement
+	// guarantees no intervening writer — see Core.operandVal).
+	src1Prod entryRef
+	src2Prod entryRef
 	src1Val  uint64
 	src2Val  uint64
 
-	val      uint64 // result: load value, ALU result, RMW old value
-	execDone uint64 // cycle execution completes (valid when status >= stDone)
-	// minRetire is the earliest cycle the entry may retire: dispatch
-	// cycle plus the pipeline depth.
-	minRetire uint64
+	val uint64 // result: load value, ALU result, RMW old value
 
 	// Load fields.
-	lineAddr uint64 // cache line of Addr, set at issue
-	slf      bool   // performed by store-to-load forwarding
-	slfStore *entry // forwarding store (nil if !slf)
-	slfKey   key    // copy of the forwarding store's SQ/SB key
+	slf      bool     // performed by store-to-load forwarding
+	slfStore entryRef // forwarding store (nilRef if !slf); stale once it wrote to the L1
+	// slfStoreSeq snapshots the forwarding store's dynSeq at forwarding
+	// time, so the dependence-violation shadow check works after the
+	// store's slot is recycled.
+	slfStoreSeq uint64
+	slfKey      key // copy of the forwarding store's SQ/SB key
 	// waitStore, when non-nil, blocks the load until that store drains
 	// (370-NoSpec store-atomicity blocking, or a partial-overlap
-	// forwarding block).
-	waitStore *entry
+	// forwarding block). A stale ref means the store wrote: unblocked.
+	waitStore entryRef
 	// waitAddr, when non-nil, blocks the load until that store's address
 	// resolves (StoreSet predicted dependence, or blanket waiting in
 	// 370-NoSpec).
-	waitAddr *entry
-	inflight bool // memory request outstanding
+	waitAddr entryRef
 	// fenceBarrier is the youngest older fence at dispatch time; the load
-	// may not issue until it retires (mfence ordering).
-	fenceBarrier *entry
+	// may not issue until it retires (mfence ordering). A stale ref is a
+	// retired fence: no barrier.
+	fenceBarrier entryRef
 
 	// gateStalled marks that this load has already been counted as a
 	// gate stall (or an SLFSpec retire wait) at the ROB head.
@@ -100,27 +132,100 @@ func (e *entry) isLoad() bool { return e.inst.Op == isa.OpLoad }
 // isStore reports whether the entry occupies an SQ/SB slot.
 func (e *entry) isStore() bool { return e.inst.Op == isa.OpStore }
 
+// arena is the per-core entry pool: every in-flight instruction occupies one
+// slot of the dense ents slice, handed out and reclaimed through a free
+// list. Capacity is ROBEntries+SQEntries — the ROB bound plus retired
+// stores lingering in the SB — so allocation can never fail. The parallel
+// stat/execDone/minRetire/lineAddr/inflight arrays are the struct-of-arrays
+// split of the fields the per-cycle scans touch.
+type arena struct {
+	ents []entry
+	gens []uint32
+	free []int32
+
+	stat      []status
+	execDone  []uint64
+	minRetire []uint64
+	lineAddr  []uint64
+	inflight  []bool
+}
+
+func newArena(capacity int) arena {
+	a := arena{
+		ents:      make([]entry, capacity),
+		gens:      make([]uint32, capacity),
+		free:      make([]int32, capacity),
+		stat:      make([]status, capacity),
+		execDone:  make([]uint64, capacity),
+		minRetire: make([]uint64, capacity),
+		lineAddr:  make([]uint64, capacity),
+		inflight:  make([]bool, capacity),
+	}
+	// Stack the free list so the first allocations come out in ascending
+	// slot order (pure locality; slot choice is never observable).
+	for i := range a.free {
+		a.free[i] = int32(capacity - 1 - i)
+	}
+	return a
+}
+
+// alloc hands out a zeroed slot.
+func (a *arena) alloc() int32 {
+	n := len(a.free)
+	if n == 0 {
+		panic("core: entry arena exhausted")
+	}
+	i := a.free[n-1]
+	a.free = a.free[:n-1]
+	a.ents[i] = entry{}
+	a.stat[i] = stDispatched
+	a.execDone[i] = 0
+	a.minRetire[i] = 0
+	a.lineAddr[i] = 0
+	a.inflight[i] = false
+	return i
+}
+
+// release reclaims a slot, invalidating every outstanding ref to it.
+func (a *arena) release(i int32) {
+	a.gens[i]++
+	a.free = append(a.free, i)
+}
+
+// refOf mints the current-generation ref for slot i.
+func (a *arena) refOf(i int32) entryRef { return makeRef(i, a.gens[i]) }
+
+// live reports whether r still names its original entry.
+func (a *arena) live(r entryRef) bool {
+	i := r.index()
+	return i >= 0 && a.gens[i] == r.gen()
+}
+
 // addrKnown reports whether the memory address is resolved. Addresses come
 // from the trace but become known only when the address-dependency register
-// (Src2) is available, modelling address generation.
-func (e *entry) addrKnown() bool {
-	return e.inst.Src2 == isa.RegNone || e.src2Prod == nil || e.src2Prod.status >= stDone
+// (Src2) is available, modelling address generation. A stale producer
+// retired, so the address is known.
+func (a *arena) addrKnown(e *entry) bool {
+	p := e.src2Prod
+	if e.inst.Src2 == isa.RegNone || p == nilRef {
+		return true
+	}
+	if i := p.index(); a.gens[i] == p.gen() {
+		return a.stat[i] >= stDone
+	}
+	return true
 }
 
 // dataKnown reports whether a store's data operand is available.
-func (e *entry) dataKnown() bool {
-	return e.inst.Src1 == isa.RegNone || e.src1Prod == nil || e.src1Prod.status >= stDone
-}
-
-// storeData returns the store's data value; call only when dataKnown.
-func (e *entry) storeData() uint64 {
-	if e.inst.Src1 == isa.RegNone {
-		return e.inst.Imm
+func (a *arena) dataKnown(e *entry) bool {
+	p := e.src1Prod
+	if e.inst.Src1 == isa.RegNone || p == nilRef {
+		return true
 	}
-	if e.src1Prod != nil {
-		return e.src1Prod.val
+	if i := p.index(); a.gens[i] == p.gen() {
+		return a.stat[i] >= stDone
 	}
-	return e.src1Val
+	return true
 }
 
 // overlaps reports whether two memory operations touch overlapping bytes.
@@ -137,12 +242,11 @@ func contains(s, l *entry) bool {
 		s.inst.Addr+uint64(s.inst.EffSize()) >= l.inst.Addr+uint64(l.inst.EffSize())
 }
 
-// forwardValue extracts the load's bytes from the store's data; call only
-// when contains(s, l).
-func forwardValue(s, l *entry) uint64 {
-	shift := (l.inst.Addr - s.inst.Addr) * 8
-	v := s.storeData() >> shift
-	size := l.inst.EffSize()
+// forwardBytes extracts a load's bytes from a containing store's data
+// value: data is the store's value at sAddr, and the load reads size bytes
+// at lAddr.
+func forwardBytes(data uint64, sAddr, lAddr uint64, size uint8) uint64 {
+	v := data >> ((lAddr - sAddr) * 8)
 	if size >= 8 {
 		return v
 	}

@@ -22,11 +22,14 @@ func (c *Core) onLineRemoved(lineAddr uint64, when uint64, eviction bool) {
 		return
 	}
 	c.st.LQSnoops++
-	for i, e := range c.lq {
-		if e.status != stDone || e.lineAddr != lineAddr {
+	n := c.lq.len()
+	for k := 0; k < n; k++ {
+		i := c.lq.at(k).index()
+		if c.ar.stat[i] != stDone || c.ar.lineAddr[i] != lineAddr {
 			continue
 		}
-		mspec, sa := c.loadSpeculative(i, e)
+		e := &c.ar.ents[i]
+		mspec, sa := c.loadSpeculative(k, e)
 		if !mspec && !sa {
 			continue
 		}
@@ -49,13 +52,13 @@ func (c *Core) onLineRemoved(lineAddr uint64, when uint64, eviction bool) {
 		if sa {
 			cause = obs.CauseSA
 		}
-		c.squashFrom(e, when, true, sa, cause, lineAddr)
+		c.squashFrom(i, when, true, sa, cause, lineAddr)
 		return
 	}
 }
 
-// loadSpeculative decides whether the performed load c.lq[i] may still be
-// squashed, under the core's consistency model.
+// loadSpeculative decides whether the performed load at LQ position k may
+// still be squashed, under the core's consistency model.
 //
 // All models use in-window load-load speculation: a load that performed
 // while an older load is unperformed is M-speculative. The chain through
@@ -71,11 +74,11 @@ func (c *Core) onLineRemoved(lineAddr uint64, when uint64, eviction bool) {
 //     speculative (Section IV-A).
 //   - 370-SLFSpec: SC-like speculation where the SLF load itself IS
 //     speculative until every older store has written to the L1.
-func (c *Core) loadSpeculative(i int, e *entry) (mspec, sa bool) {
+func (c *Core) loadSpeculative(k int, e *entry) (mspec, sa bool) {
 	// M-speculative: any older unperformed load. This is the baseline
 	// load-load in-window speculation every model (including x86) uses.
-	for j := 0; j < i; j++ {
-		if c.lq[j].status < stDone {
+	for j := 0; j < k; j++ {
+		if c.ar.stat[c.lq.at(j).index()] < stDone {
 			mspec = true
 			break
 		}
@@ -83,9 +86,13 @@ func (c *Core) loadSpeculative(i int, e *entry) (mspec, sa bool) {
 	if !mspec {
 		// An in-flight atomic RMW is an older unperformed read too; it
 		// occupies no LQ slot, but a load that performed past it is just
-		// as speculative.
+		// as speculative. A stale ref is a retired or squashed RMW.
 		for _, r := range c.rmws {
-			if r.alive && r.status < stDone && r.dynSeq < e.dynSeq {
+			ri := r.index()
+			if c.ar.gens[ri] != r.gen() || c.ar.stat[ri] >= stDone {
+				continue
+			}
+			if c.ar.ents[ri].dynSeq < e.dynSeq {
 				mspec = true
 				break
 			}
@@ -97,17 +104,20 @@ func (c *Core) loadSpeculative(i int, e *entry) (mspec, sa bool) {
 			sa = true
 			return
 		}
-		for j := 0; j < i; j++ {
-			l := c.lq[j]
-			if l.slf && !l.slfStore.writtenL1 {
+		for j := 0; j < k; j++ {
+			l := &c.ar.ents[c.lq.at(j).index()]
+			// A live forwarding-store ref is by construction a store
+			// that has not yet written to the L1.
+			if l.slf && c.ar.live(l.slfStore) {
 				sa = true
 				return
 			}
 		}
 	case config.SLFSpec370:
-		for j := 0; j <= i; j++ {
-			l := c.lq[j]
-			if l.slf && l.status >= stDone && c.sq.anyOlderUnwritten(l.dynSeq) {
+		for j := 0; j <= k; j++ {
+			li := c.lq.at(j).index()
+			l := &c.ar.ents[li]
+			if l.slf && c.ar.stat[li] >= stDone && c.sq.anyOlderUnwritten(&c.ar, l.dynSeq) {
 				sa = true
 				return
 			}
@@ -116,72 +126,92 @@ func (c *Core) loadSpeculative(i int, e *entry) (mspec, sa bool) {
 	return
 }
 
-// squashFrom flushes the pipeline from entry `from` (inclusive) to the ROB
-// tail and restarts fetch at its trace index. countReexec attributes the
-// flushed instructions to the Table IV "re-executed" metric (store-atomicity
-// or load-load misspeculation); memory-dependence squashes are counted
-// separately.
-func (c *Core) squashFrom(from *entry, now uint64, countReexec, saOnly bool, cause obs.Cause, addr uint64) {
+// squashFrom flushes the pipeline from the entry in arena slot fromIdx
+// (inclusive) to the ROB tail and restarts fetch at its trace index.
+// countReexec attributes the flushed instructions to the Table IV
+// "re-executed" metric (store-atomicity or load-load misspeculation);
+// memory-dependence squashes are counted separately. Every flushed entry's
+// arena slot is recycled here — outstanding refs (memory callbacks in
+// flight, producer links) turn stale, which their holders read as
+// "squashed; ignore".
+func (c *Core) squashFrom(fromIdx int32, now uint64, countReexec, saOnly bool, cause obs.Cause, addr uint64) {
 	c.progressed = true
+	fromRef := c.ar.refOf(fromIdx)
+	from := &c.ar.ents[fromIdx]
+	fromTraceIdx := from.traceIdx
 	pos := -1
-	for i, e := range c.rob {
-		if e == from {
-			pos = i
+	n := c.rob.len()
+	for k := 0; k < n; k++ {
+		if c.rob.at(k) == fromRef {
+			pos = k
 			break
 		}
 	}
 	if pos < 0 {
 		panic("core: squash target not in ROB")
 	}
-	flushed := c.rob[pos:]
+	flushed := n - pos
 	if c.tr != nil {
 		c.tr.Record(obs.Event{Cycle: now, Kind: obs.KSquash, Cause: cause, Op: from.inst.Op,
 			Seq: from.dynSeq, TraceIdx: int32(from.traceIdx), Key: obs.KeyNone, Addr: addr,
-			N: uint64(len(flushed))})
+			N: uint64(flushed)})
 	}
-	for i := len(flushed) - 1; i >= 0; i-- {
-		e := flushed[i]
-		e.alive = false
+	for k := n - 1; k >= pos; k-- {
+		r := c.rob.at(k)
+		i := r.index()
+		e := &c.ar.ents[i]
 		if c.tr != nil {
 			c.tr.Record(obs.Event{Cycle: now, Kind: obs.KFlush, Cause: cause, Op: e.inst.Op,
 				Seq: e.dynSeq, TraceIdx: int32(e.traceIdx), Key: obs.KeyNone, Addr: e.inst.Addr})
 		}
+		switch c.ar.stat[i] {
+		case stDispatched:
+			c.nDispatched--
+		case stIssued:
+			if !c.ar.inflight[i] {
+				c.nLocalExec--
+			}
+		}
 		if e.isStore() {
-			if e.status == stRetired {
+			if c.ar.stat[i] == stRetired {
 				panic("core: squashing a retired store")
 			}
-			c.sq.rollback(e)
+			c.sq.rollback(r)
 		}
-		if c.haltBranch == e {
-			c.haltBranch = nil
+		if c.haltBranch == r {
+			c.haltBranch = nilRef
 		}
+		c.ar.release(i)
 	}
 	if countReexec {
-		c.st.ReexecInsts += uint64(len(flushed))
+		c.st.ReexecInsts += uint64(flushed)
 		if saOnly {
-			c.st.SAReexecInsts += uint64(len(flushed))
+			c.st.SAReexecInsts += uint64(flushed)
 		}
 	}
-	c.rob = c.rob[:pos]
+	c.rob.truncate(pos)
 
-	// Rebuild the LQ (a suffix was flushed) and the rename map.
-	for len(c.lq) > 0 && !c.lq[len(c.lq)-1].alive {
-		c.lq = c.lq[:len(c.lq)-1]
+	// Rebuild the LQ (a suffix was flushed) and the rename map. Flushed
+	// loads are the now-stale refs at the LQ tail.
+	for c.lq.len() > 0 && !c.ar.live(c.lq.at(c.lq.len()-1)) {
+		c.lq.truncate(c.lq.len() - 1)
 	}
 	for r := range c.regProd {
-		c.regProd[r] = nil
+		c.regProd[r] = nilRef
 	}
-	c.lastFence = nil
-	for _, e := range c.rob {
+	c.lastFence = nilRef
+	for k := 0; k < c.rob.len(); k++ {
+		ref := c.rob.at(k)
+		e := &c.ar.ents[ref.index()]
 		if e.inst.Dst != isa.RegNone {
-			c.regProd[e.inst.Dst] = e
+			c.regProd[e.inst.Dst] = ref
 		}
 		if e.inst.Op == isa.OpFence {
-			c.lastFence = e
+			c.lastFence = ref
 		}
 	}
 
-	c.fetchIdx = from.traceIdx
+	c.fetchIdx = fromTraceIdx
 	c.redirectUntil = maxU64(c.redirectUntil, now+uint64(c.cfg.SquashRefillPenalty))
 	if c.hc != nil {
 		// The squash-to-refill cost: cycles dispatch stays blocked from

@@ -6,21 +6,25 @@ package core
 // until its L1 write completes; the sorting bit per slot flips on
 // wrap-around so that a (slot, sorting-bit) key uniquely names a live store.
 //
+// Slots hold arena refs; every occupied slot is live by construction (the
+// queue releases a slot before the arena recycles the entry), so lookups
+// index the arena directly.
+//
 // Occupancy changes only at dispatch (alloc), squash (rollback) — both
 // progress in the owning tick — or a store's L1-write event callback
 // (free). Predicates like anyOlderUnwritten are therefore constant across
 // a skipped quiescent range, which the two-level clock depends on.
 type storeQueue struct {
-	slots []*entry
+	slots []entryRef
 	sort  []bool
 	head  int // oldest occupied slot
 	tail  int // next free slot
 	count int
 }
 
-func newStoreQueue(capacity int) *storeQueue {
-	return &storeQueue{
-		slots: make([]*entry, capacity),
+func newStoreQueue(capacity int) storeQueue {
+	return storeQueue{
+		slots: make([]entryRef, capacity),
 		sort:  make([]bool, capacity),
 	}
 }
@@ -29,32 +33,32 @@ func (q *storeQueue) full() bool  { return q.count == len(q.slots) }
 func (q *storeQueue) empty() bool { return q.count == 0 }
 
 // alloc assigns the next slot to store e and stamps its key.
-func (q *storeQueue) alloc(e *entry) {
+func (q *storeQueue) alloc(r entryRef, e *entry) {
 	if q.full() {
 		panic("core: store queue overflow")
 	}
 	e.sqSlot = q.tail
 	e.sqKey = key{slot: q.tail, sort: q.sort[q.tail]}
-	q.slots[q.tail] = e
+	q.slots[q.tail] = r
 	q.tail = (q.tail + 1) % len(q.slots)
 	q.count++
 }
 
-// oldest returns the store at the head of the queue, or nil.
-func (q *storeQueue) oldest() *entry {
+// oldest returns the store ref at the head of the queue, or nilRef.
+func (q *storeQueue) oldest() entryRef {
 	if q.count == 0 {
-		return nil
+		return nilRef
 	}
 	return q.slots[q.head]
 }
 
 // free releases the head slot after its store's L1 write, flipping the
 // sorting bit for the slot's next occupant.
-func (q *storeQueue) free(e *entry) {
-	if q.slots[q.head] != e {
+func (q *storeQueue) free(r entryRef) {
+	if q.slots[q.head] != r {
 		panic("core: store buffer freed out of order")
 	}
-	q.slots[q.head] = nil
+	q.slots[q.head] = nilRef
 	q.sort[q.head] = !q.sort[q.head]
 	q.head = (q.head + 1) % len(q.slots)
 	q.count--
@@ -63,12 +67,12 @@ func (q *storeQueue) free(e *entry) {
 // rollback removes a squashed, non-retired store. Squashes flush a
 // contiguous youngest suffix of the ROB, so the store must be the youngest
 // allocation.
-func (q *storeQueue) rollback(e *entry) {
+func (q *storeQueue) rollback(r entryRef) {
 	prev := (q.tail - 1 + len(q.slots)) % len(q.slots)
-	if q.slots[prev] != e {
+	if q.slots[prev] != r {
 		panic("core: store queue rollback out of order")
 	}
-	q.slots[prev] = nil
+	q.slots[prev] = nilRef
 	q.tail = prev
 	q.count--
 }
@@ -76,17 +80,18 @@ func (q *storeQueue) rollback(e *entry) {
 // present reports whether the store named by k is still in the SQ/SB; this
 // is the direct-slot sorting-bit check the retiring SLF load performs
 // (Section IV-B2).
-func (q *storeQueue) present(k key) bool {
-	e := q.slots[k.slot]
-	return e != nil && e.sqKey == k
+func (q *storeQueue) present(a *arena, k key) bool {
+	r := q.slots[k.slot]
+	return r != nilRef && a.ents[r.index()].sqKey == k
 }
 
 // anyOlderUnwritten reports whether any store older than dynSeq has not yet
-// written to the L1. Fences and the 370-SLFSpec retire rule use it.
-func (q *storeQueue) anyOlderUnwritten(dynSeq uint64) bool {
+// written to the L1. Fences and the 370-SLFSpec retire rule use it. An
+// in-queue store has by definition not written (its slot is freed at the
+// write), so only the age check matters.
+func (q *storeQueue) anyOlderUnwritten(a *arena, dynSeq uint64) bool {
 	for i, n := q.head, q.count; n > 0; i, n = (i+1)%len(q.slots), n-1 {
-		e := q.slots[i]
-		if e != nil && e.dynSeq < dynSeq && !e.writtenL1 {
+		if r := q.slots[i]; r != nilRef && a.ents[r.index()].dynSeq < dynSeq {
 			return true
 		}
 	}
@@ -95,10 +100,9 @@ func (q *storeQueue) anyOlderUnwritten(dynSeq uint64) bool {
 
 // anyRetiredUnwritten reports whether the store-buffer portion is non-empty:
 // a retired store that has not yet written to the L1.
-func (q *storeQueue) anyRetiredUnwritten() bool {
+func (q *storeQueue) anyRetiredUnwritten(a *arena) bool {
 	for i, n := q.head, q.count; n > 0; i, n = (i+1)%len(q.slots), n-1 {
-		e := q.slots[i]
-		if e != nil && e.status == stRetired && !e.writtenL1 {
+		if r := q.slots[i]; r != nilRef && a.stat[r.index()] == stRetired {
 			return true
 		}
 	}
@@ -107,33 +111,28 @@ func (q *storeQueue) anyRetiredUnwritten() bool {
 
 // youngestOlderMatch returns the youngest store older than the load that
 // overlaps it, and separately the youngest older store whose address is
-// still unknown. Either may be nil. The search walks from the youngest
+// still unknown. Either may be -1. The search walks from the youngest
 // allocation backwards, which is the SQ/SB snoop every load already does in
 // a conventional core — the snoop our mechanism reuses to copy the key.
-func (q *storeQueue) youngestOlderMatch(l *entry) (match, unknown *entry) {
+func (q *storeQueue) youngestOlderMatch(a *arena, l *entry) (match, unknown int32) {
+	match, unknown = -1, -1
 	i := (q.tail - 1 + len(q.slots)) % len(q.slots)
 	for n := q.count; n > 0; n-- {
-		e := q.slots[i]
-		if e != nil && e.dynSeq < l.dynSeq {
-			if !e.addrKnown() {
-				if unknown == nil {
-					unknown = e
+		if r := q.slots[i]; r != nilRef {
+			idx := r.index()
+			e := &a.ents[idx]
+			if e.dynSeq < l.dynSeq {
+				if !a.addrKnown(e) {
+					if unknown < 0 {
+						unknown = idx
+					}
+				} else if overlaps(e, l) {
+					match = idx
+					return
 				}
-			} else if overlaps(e, l) {
-				match = e
-				return
 			}
 		}
 		i = (i - 1 + len(q.slots)) % len(q.slots)
 	}
 	return
-}
-
-// forEach calls fn on every store from oldest to youngest.
-func (q *storeQueue) forEach(fn func(*entry)) {
-	for i, n := q.head, q.count; n > 0; i, n = (i+1)%len(q.slots), n-1 {
-		if e := q.slots[i]; e != nil {
-			fn(e)
-		}
-	}
 }

@@ -7,43 +7,62 @@ import (
 	"sesa/internal/isa"
 )
 
-func newStore(seq uint64, addr uint64) *entry {
-	return &entry{
-		inst:   isa.StoreImm(addr, seq),
-		dynSeq: seq,
-		alive:  true,
-	}
+// sqHarness is an arena + store queue pair, the minimal state the SQ/SB
+// operates over.
+type sqHarness struct {
+	ar arena
+	q  storeQueue
+}
+
+func newSQHarness(capacity int) *sqHarness {
+	return &sqHarness{ar: newArena(capacity + 8), q: newStoreQueue(capacity)}
+}
+
+// addStore dispatches a store with the given dynSeq and address into the
+// arena and the queue, returning its slot.
+func (h *sqHarness) addStore(seq uint64, addr uint64) int32 {
+	i := h.ar.alloc()
+	e := &h.ar.ents[i]
+	e.inst = isa.StoreImm(addr, seq)
+	e.dynSeq = seq
+	h.q.alloc(h.ar.refOf(i), e)
+	return i
+}
+
+// write retires the store and completes its L1 write: the slot leaves the
+// queue and the arena recycles the entry, as storeWrote does.
+func (h *sqHarness) write(i int32) {
+	h.ar.stat[i] = stRetired
+	h.ar.ents[i].writtenL1 = true
+	h.q.free(h.ar.refOf(i))
+	h.ar.release(i)
 }
 
 func TestStoreQueueAllocFreeWrapSortingBit(t *testing.T) {
-	q := newStoreQueue(4)
+	h := newSQHarness(4)
 	var seq uint64
 
 	// Fill, drain, and refill across the wrap-around: the sorting bit of
 	// each slot must flip, so keys from the two generations differ.
 	firstGen := make([]key, 4)
+	idxs := make([]int32, 4)
 	for i := 0; i < 4; i++ {
 		seq++
-		e := newStore(seq, uint64(i*64))
-		q.alloc(e)
-		firstGen[i] = e.sqKey
-		e.status = stRetired
+		idxs[i] = h.addStore(seq, uint64(i*64))
+		firstGen[i] = h.ar.ents[idxs[i]].sqKey
 	}
-	if !q.full() {
+	if !h.q.full() {
 		t.Fatal("queue should be full")
 	}
 	for i := 0; i < 4; i++ {
-		e := q.oldest()
-		e.writtenL1 = true
-		q.free(e)
+		h.write(idxs[i])
 	}
-	if !q.empty() {
+	if !h.q.empty() {
 		t.Fatal("queue should be empty")
 	}
 	for i := 0; i < 4; i++ {
 		seq++
-		e := newStore(seq, uint64(i*64))
-		q.alloc(e)
+		e := &h.ar.ents[h.addStore(seq, uint64(i*64))]
 		if e.sqKey.slot != firstGen[i].slot {
 			t.Errorf("slot %d: expected same slot reuse", i)
 		}
@@ -54,101 +73,100 @@ func TestStoreQueueAllocFreeWrapSortingBit(t *testing.T) {
 }
 
 func TestStoreQueuePresent(t *testing.T) {
-	q := newStoreQueue(2)
-	e1 := newStore(1, 0)
-	q.alloc(e1)
-	k1 := e1.sqKey
-	if !q.present(k1) {
+	h := newSQHarness(2)
+	i1 := h.addStore(1, 0)
+	k1 := h.ar.ents[i1].sqKey
+	slot1 := h.ar.ents[i1].sqSlot
+	if !h.q.present(&h.ar, k1) {
 		t.Fatal("freshly allocated store should be present")
 	}
-	e1.status = stRetired
-	e1.writtenL1 = true
-	q.free(e1)
-	if q.present(k1) {
+	h.write(i1)
+	if h.q.present(&h.ar, k1) {
 		t.Error("freed store should not be present")
 	}
 	// A new store in the same slot must not match the old key: the tail
 	// wraps back to slot 0 on the second allocation.
-	q.alloc(newStore(2, 64))
-	e3 := newStore(3, 128)
-	q.alloc(e3)
-	if e3.sqSlot != e1.sqSlot {
-		t.Fatalf("expected slot reuse, got %d vs %d", e3.sqSlot, e1.sqSlot)
+	h.addStore(2, 64)
+	i3 := h.addStore(3, 128)
+	if h.ar.ents[i3].sqSlot != slot1 {
+		t.Fatalf("expected slot reuse, got %d vs %d", h.ar.ents[i3].sqSlot, slot1)
 	}
-	if q.present(k1) {
+	if h.q.present(&h.ar, k1) {
 		t.Error("old-generation key must not match the slot's new occupant")
 	}
-	if !q.present(e3.sqKey) {
+	if !h.q.present(&h.ar, h.ar.ents[i3].sqKey) {
 		t.Error("new occupant should be present under its own key")
 	}
 }
 
 func TestStoreQueueRollback(t *testing.T) {
-	q := newStoreQueue(4)
-	a, b, c := newStore(1, 0), newStore(2, 64), newStore(3, 128)
-	q.alloc(a)
-	q.alloc(b)
-	q.alloc(c)
+	h := newSQHarness(4)
+	a := h.addStore(1, 0)
+	b := h.addStore(2, 64)
+	cc := h.addStore(3, 128)
+	bSlot, bSort := h.ar.ents[b].sqSlot, h.ar.ents[b].sqKey.sort
 	// Squash flushes the youngest suffix: c then b.
-	q.rollback(c)
-	q.rollback(b)
-	if q.count != 1 || q.oldest() != a {
-		t.Fatalf("rollback broke the queue: count=%d", q.count)
+	h.q.rollback(h.ar.refOf(cc))
+	h.ar.release(cc)
+	h.q.rollback(h.ar.refOf(b))
+	h.ar.release(b)
+	if h.q.count != 1 || h.q.oldest() != h.ar.refOf(a) {
+		t.Fatalf("rollback broke the queue: count=%d", h.q.count)
 	}
 	// Re-allocation reuses the rolled-back slots with unchanged sorting
 	// bits (no wrap happened).
-	b2 := newStore(4, 64)
-	q.alloc(b2)
-	if b2.sqSlot != b.sqSlot || b2.sqKey.sort != b.sqKey.sort {
+	b2 := h.addStore(4, 64)
+	if h.ar.ents[b2].sqSlot != bSlot || h.ar.ents[b2].sqKey.sort != bSort {
 		t.Error("re-allocated slot should keep its sorting bit")
 	}
 }
 
 func TestStoreQueueRollbackOutOfOrderPanics(t *testing.T) {
-	q := newStoreQueue(4)
-	a, b := newStore(1, 0), newStore(2, 64)
-	q.alloc(a)
-	q.alloc(b)
+	h := newSQHarness(4)
+	a := h.addStore(1, 0)
+	h.addStore(2, 64)
 	defer func() {
 		if recover() == nil {
 			t.Error("rolling back a non-youngest store must panic")
 		}
 	}()
-	q.rollback(a)
+	h.q.rollback(h.ar.refOf(a))
 }
 
 func TestStoreQueueSearchOrder(t *testing.T) {
-	q := newStoreQueue(8)
-	old := newStore(1, 0x100)
-	mid := newStore(2, 0x100)
-	q.alloc(old)
-	q.alloc(mid)
-	ld := &entry{inst: isa.Load(1, 0x100), dynSeq: 3, alive: true}
-	m, unk := q.youngestOlderMatch(ld)
+	h := newSQHarness(8)
+	h.addStore(1, 0x100)
+	mid := h.addStore(2, 0x100)
+	ld := &entry{inst: isa.Load(1, 0x100), dynSeq: 3}
+	m, unk := h.q.youngestOlderMatch(&h.ar, ld)
 	if m != mid {
 		t.Error("search must return the youngest older matching store")
 	}
-	if unk != nil {
+	if unk >= 0 {
 		t.Error("no unknown-address store expected")
 	}
 
 	// A younger store (dynSeq 4) must not match a load with dynSeq 3.
-	q.alloc(newStore(4, 0x100))
-	if m, _ := q.youngestOlderMatch(ld); m != mid {
+	h.addStore(4, 0x100)
+	if m, _ := h.q.youngestOlderMatch(&h.ar, ld); m != mid {
 		t.Error("younger store must be invisible to an older load")
 	}
 }
 
 func TestStoreQueueUnknownAddressBlocksSearch(t *testing.T) {
-	q := newStoreQueue(8)
-	known := newStore(1, 0x200)
-	q.alloc(known)
-	// Store with an address dependency that has not resolved.
-	dep := &entry{inst: isa.Inst{Op: isa.OpStore, Src1: isa.RegNone, Src2: 5, Addr: 0x200}, dynSeq: 2, alive: true}
-	dep.src2Prod = &entry{status: stDispatched}
-	q.alloc(dep)
-	ld := &entry{inst: isa.Load(1, 0x200), dynSeq: 3, alive: true}
-	m, unk := q.youngestOlderMatch(ld)
+	h := newSQHarness(8)
+	known := h.addStore(1, 0x200)
+	// Store with an address dependency that has not resolved: its Src2
+	// producer is a dispatched (incomplete) arena entry.
+	prod := h.ar.alloc()
+	dep := h.ar.alloc()
+	de := &h.ar.ents[dep]
+	de.inst = isa.Inst{Op: isa.OpStore, Src1: isa.RegNone, Src2: 5, Addr: 0x200}
+	de.dynSeq = 2
+	de.src2Prod = h.ar.refOf(prod)
+	h.q.alloc(h.ar.refOf(dep), de)
+	ld := &entry{inst: isa.Load(1, 0x200), dynSeq: 3}
+	m, unk := h.q.youngestOlderMatch(&h.ar, ld)
 	if unk != dep {
 		t.Error("unresolved store should be reported")
 	}
@@ -160,25 +178,33 @@ func TestStoreQueueUnknownAddressBlocksSearch(t *testing.T) {
 	if m != known {
 		t.Error("resolved older match should be returned for D-speculation")
 	}
-	if unk.dynSeq < m.dynSeq {
+	if h.ar.ents[unk].dynSeq < h.ar.ents[m].dynSeq {
 		t.Error("reported unknown must be younger than the match")
+	}
+	// Completing the producer resolves the address.
+	h.ar.stat[prod] = stDone
+	if _, unk := h.q.youngestOlderMatch(&h.ar, ld); unk >= 0 {
+		t.Error("address should be known once the producer completes")
+	}
+	// A recycled producer slot means the producer retired: still known.
+	h.ar.release(prod)
+	if _, unk := h.q.youngestOlderMatch(&h.ar, ld); unk >= 0 {
+		t.Error("a stale producer ref must read as resolved")
 	}
 }
 
 func TestStoreQueueAnyOlderUnwritten(t *testing.T) {
-	q := newStoreQueue(4)
-	a := newStore(1, 0)
-	b := newStore(5, 64)
-	q.alloc(a)
-	q.alloc(b)
-	if !q.anyOlderUnwritten(3) {
+	h := newSQHarness(4)
+	a := h.addStore(1, 0)
+	h.addStore(5, 64)
+	if !h.q.anyOlderUnwritten(&h.ar, 3) {
 		t.Error("store 1 is older than 3 and unwritten")
 	}
-	a.writtenL1 = true
-	if q.anyOlderUnwritten(3) {
+	h.write(a)
+	if h.q.anyOlderUnwritten(&h.ar, 3) {
 		t.Error("store 1 written; store 5 is younger than 3")
 	}
-	if !q.anyOlderUnwritten(10) {
+	if !h.q.anyOlderUnwritten(&h.ar, 10) {
 		t.Error("store 5 is older than 10 and unwritten")
 	}
 }
@@ -193,13 +219,13 @@ func TestOverlapContainsForward(t *testing.T) {
 	if !overlaps(st8, ld8) || !contains(st8, ld8) {
 		t.Error("same-address same-size must forward")
 	}
-	if got := forwardValue(st8, ld8); got != 0x1122334455667788 {
+	if got := forwardBytes(st8.inst.Imm, 0x100, 0x100, 8); got != 0x1122334455667788 {
 		t.Errorf("full forward = %#x", got)
 	}
 	if !contains(st8, ld4) {
 		t.Error("8-byte store contains 4-byte load of its upper half")
 	}
-	if got := forwardValue(st8, ld4); got != 0x11223344 {
+	if got := forwardBytes(st8.inst.Imm, 0x100, 0x104, 4); got != 0x11223344 {
 		t.Errorf("partial forward = %#x, want upper half", got)
 	}
 	if overlaps(st8, ldOther) {

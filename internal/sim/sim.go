@@ -291,6 +291,11 @@ const cancelCheckMask = 1024 - 1
 // partial statistics stay readable.
 func (m *Machine) RunContext(ctx context.Context, maxCycles uint64) error {
 	skip := m.stepMode == config.StepSkip
+	// Quiescence wake reports feed skipAhead and nothing else: under the
+	// naive stepper the per-tick wake scan is dead work, so turn it off.
+	for _, c := range m.cores {
+		c.SetWakeHints(skip)
+	}
 	done := ctx.Done()
 	steps := 0
 	for !m.Done() {
