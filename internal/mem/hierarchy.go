@@ -53,7 +53,10 @@ type Hierarchy struct {
 	l3  *Array
 	dir *Directory
 
-	image map[uint64]uint64 // word-aligned address -> value
+	// image carries the memory-order data values at 8-byte-word
+	// granularity: word-aligned address -> value, in a flat open-addressing
+	// table presized from the trace footprint (see Reserve).
+	image addrTable
 
 	listeners []InvalListener
 
@@ -66,9 +69,10 @@ type Hierarchy struct {
 	hists []*hist.Collector
 
 	// busyUntil serializes coherence transactions per line, like a
-	// blocking directory entry. now tracks the latest request time seen,
+	// blocking directory entry: line address -> busy horizon, in the same
+	// flat table layout as image. now tracks the latest request time seen,
 	// so lineBusy can distinguish live transactions from finished ones.
-	busyUntil map[uint64]uint64
+	busyUntil addrTable
 	now       uint64
 
 	// pref tracks the per-core stride prefetcher state.
@@ -92,11 +96,11 @@ func NewHierarchy(cores int, cfg config.Memory, net *noc.Network, evq *sched.Eve
 		evq:       evq,
 		l3:        NewHashedArray(config.Cache{SizeBytes: cfg.L3.SizeBytes * cfg.L3Banks, Ways: cfg.L3.Ways, LineBytes: cfg.L3.LineBytes, HitCycles: cfg.L3.HitCycles}),
 		dir:       NewDirectory(cores, cfg.L2, cfg.DirectoryWays, cfg.DirectoryCoverage, cfg.L2.LineBytes),
-		image:     make(map[uint64]uint64),
+		image:     newAddrTable(0),
 		listeners: make([]InvalListener, cores),
 		tracers:   make([]*obs.CoreTracer, cores),
 		hists:     make([]*hist.Collector, cores),
-		busyUntil: make(map[uint64]uint64),
+		busyUntil: newAddrTable(0),
 		pref:      make([]strideState, cores),
 	}
 	h.l1 = make([]*Array, cores)
@@ -134,6 +138,16 @@ func (h *Hierarchy) recordSnoop(core int, lineAddr, when uint64, eviction bool) 
 // LineAddr returns the line-aligned address containing addr.
 func (h *Hierarchy) LineAddr(addr uint64) uint64 { return h.l1[0].LineAddr(addr) }
 
+// Reserve presizes the per-run address tables for a trace footprint of the
+// given distinct word and line counts, so steady-state accesses never pay a
+// mid-run rehash. The machine calls it once per installed program; the
+// counts are hints (prefetches may touch a few lines beyond the trace) and
+// the tables still grow if exceeded.
+func (h *Hierarchy) Reserve(words, lines int) {
+	h.image.reserve(words)
+	h.busyUntil.reserve(lines)
+}
+
 // ---- data image -----------------------------------------------------------
 
 func wordAddr(addr uint64) uint64 { return addr &^ 7 }
@@ -141,7 +155,7 @@ func wordAddr(addr uint64) uint64 { return addr &^ 7 }
 // ReadImage returns the current memory-order value of the size-byte location
 // at addr.
 func (h *Hierarchy) ReadImage(addr uint64, size uint8) uint64 {
-	w := h.image[wordAddr(addr)]
+	w := h.image.get(wordAddr(addr))
 	if size == 0 || size >= 8 {
 		return w
 	}
@@ -155,12 +169,12 @@ func (h *Hierarchy) ReadImage(addr uint64, size uint8) uint64 {
 func (h *Hierarchy) WriteImage(addr uint64, size uint8, val uint64) {
 	wa := wordAddr(addr)
 	if size == 0 || size >= 8 {
-		h.image[wa] = val
+		h.image.put(wa, val)
 		return
 	}
 	shift := (addr & 7) * 8
 	mask := ((uint64(1) << (uint64(size) * 8)) - 1) << shift
-	h.image[wa] = (h.image[wa] &^ mask) | ((val << shift) & mask)
+	h.image.put(wa, (h.image.get(wa)&^mask)|((val<<shift)&mask))
 }
 
 // ---- latency building blocks ----------------------------------------------
@@ -171,25 +185,25 @@ func (h *Hierarchy) data() uint64 { return uint64(h.net.Delay(noc.Data)) }
 // lineBusy reports whether a coherence transaction on lineAddr is still in
 // flight relative to the latest request time seen by the hierarchy.
 func (h *Hierarchy) lineBusy(lineAddr uint64) bool {
-	return h.busyUntil[lineAddr] > h.now
+	return h.busyUntil.get(lineAddr) > h.now
 }
 
 // lineBusyAt reports whether a transaction on lineAddr is in flight at t.
 func (h *Hierarchy) lineBusyAt(lineAddr, t uint64) bool {
-	return h.busyUntil[lineAddr] > t
+	return h.busyUntil.get(lineAddr) > t
 }
 
 // claimLine serializes a transaction on lineAddr starting no earlier than t;
 // it returns the adjusted start time.
 func (h *Hierarchy) claimLine(lineAddr, t uint64) uint64 {
-	if b := h.busyUntil[lineAddr]; b > t {
+	if b := h.busyUntil.get(lineAddr); b > t {
 		t = b
 	}
 	return t
 }
 
 func (h *Hierarchy) releaseLine(lineAddr, done uint64) {
-	h.busyUntil[lineAddr] = done
+	h.busyUntil.put(lineAddr, done)
 }
 
 func (h *Hierarchy) advance(t uint64) {
@@ -619,8 +633,8 @@ func (h *Hierarchy) storeLine(core int, addr uint64, t, notBefore uint64) uint64
 // sealWrite extends the line's busy window to the write's insertion cycle
 // so that later same-line transactions serialize after it.
 func (h *Hierarchy) sealWrite(lineAddr, done uint64) uint64 {
-	if h.busyUntil[lineAddr] < done {
-		h.busyUntil[lineAddr] = done
+	if h.busyUntil.get(lineAddr) < done {
+		h.busyUntil.put(lineAddr, done)
 	}
 	return done
 }
