@@ -139,7 +139,7 @@ func New(id int, cfg config.Config, hier *mem.Hierarchy, st *stats.Core) *Core {
 
 		wakeHints: true,
 	}
-	hier.SetInvalListener(id, c.onLineRemoved)
+	hier.SetClient(id, c)
 	return c
 }
 
@@ -515,18 +515,19 @@ func (c *Core) drainSB(now uint64) {
 		if c.lastDrainWhen > 0 {
 			notBefore = c.lastDrainWhen + 2
 		}
-		when := c.hier.Store(c.id, st.inst.Addr, st.inst.EffSize(), c.storeData(st), now, notBefore, func(w uint64) {
-			c.storeWrote(r, w)
-		})
+		when := c.hier.Store(c.id, st.inst.Addr, st.inst.EffSize(), c.storeData(st), now, notBefore, uint64(r))
 		c.lastDrainWhen = when
 	}
 }
 
-// storeWrote runs at the store's memory-order insertion cycle: the store
+// OnStoreWrote runs at the store's memory-order insertion cycle: the store
 // leaves the SB and, if it forwarded to an SLF load that locked the retire
 // gate, reopens the gate with its key (Fig. 8 step c). The arena slot is
 // recycled at the end — from here on, every ref to this store (SLF loads'
-// slfStore, NoSpec waitStore) reads as stale, meaning "written".
+// slfStore, NoSpec waitStore) reads as stale, meaning "written". Retired
+// stores are never squashed, so the ref is always live here.
+func (c *Core) OnStoreWrote(ref, when uint64) { c.storeWrote(entryRef(ref), when) }
+
 func (c *Core) storeWrote(r entryRef, when uint64) {
 	i := r.index()
 	e := &c.ar.ents[i]
@@ -742,22 +743,27 @@ func (c *Core) tryIssueRMW(i int32, e *entry, now uint64) bool {
 	c.ar.stat[i] = stIssued
 	c.ar.inflight[i] = true
 	rmw := c.ar.refOf(i)
-	c.hier.RMW(c.id, e.inst.Addr, e.inst.EffSize(), e.inst.Imm, now, func(old, when uint64) {
-		if !c.ar.live(rmw) {
-			return
-		}
-		ri := rmw.index()
-		re := &c.ar.ents[ri]
-		re.val = old
-		c.ar.inflight[ri] = false
-		c.ar.stat[ri] = stDone
-		c.ar.execDone[ri] = when
-		if c.tr != nil {
-			c.tr.Record(obs.Event{Cycle: when, Kind: obs.KPerform, Op: re.inst.Op,
-				Seq: re.dynSeq, TraceIdx: int32(re.traceIdx), Key: obs.KeyNone, Addr: re.inst.Addr, N: old})
-		}
-	})
+	c.hier.RMW(c.id, e.inst.Addr, e.inst.EffSize(), e.inst.Imm, now, uint64(rmw))
 	return true
+}
+
+// OnRMWDone delivers an atomic's completion: a stale ref means the RMW was
+// squashed after issue and the result is dropped.
+func (c *Core) OnRMWDone(ref, old, when uint64) {
+	rmw := entryRef(ref)
+	if !c.ar.live(rmw) {
+		return
+	}
+	ri := rmw.index()
+	re := &c.ar.ents[ri]
+	re.val = old
+	c.ar.inflight[ri] = false
+	c.ar.stat[ri] = stDone
+	c.ar.execDone[ri] = when
+	if c.tr != nil {
+		c.tr.Record(obs.Event{Cycle: when, Kind: obs.KPerform, Op: re.inst.Op,
+			Seq: re.dynSeq, TraceIdx: int32(re.traceIdx), Key: obs.KeyNone, Addr: re.inst.Addr, N: old})
+	}
 }
 
 func (c *Core) tryIssueLoad(i int32, e *entry, now uint64) bool {
@@ -893,21 +899,26 @@ func (c *Core) issueToMemory(i int32, e *entry, now uint64) {
 	c.ar.stat[i] = stIssued
 	c.ar.inflight[i] = true
 	ld := c.ar.refOf(i)
-	c.hier.Load(c.id, e.inst.Addr, e.inst.EffSize(), now, func(val, when uint64) {
-		if !c.ar.live(ld) {
-			return
-		}
-		li := ld.index()
-		le := &c.ar.ents[li]
-		le.val = val
-		c.ar.inflight[li] = false
-		c.ar.stat[li] = stDone
-		c.ar.execDone[li] = when
-		if c.tr != nil {
-			c.tr.Record(obs.Event{Cycle: when, Kind: obs.KPerform, Op: le.inst.Op,
-				Seq: le.dynSeq, TraceIdx: int32(le.traceIdx), Key: obs.KeyNone, Addr: le.inst.Addr, N: val})
-		}
-	})
+	c.hier.Load(c.id, e.inst.Addr, e.inst.EffSize(), now, uint64(ld))
+}
+
+// OnLoadDone delivers a load's performed value: a stale ref means the load
+// was squashed after issue and the value is dropped.
+func (c *Core) OnLoadDone(ref, val, when uint64) {
+	ld := entryRef(ref)
+	if !c.ar.live(ld) {
+		return
+	}
+	li := ld.index()
+	le := &c.ar.ents[li]
+	le.val = val
+	c.ar.inflight[li] = false
+	c.ar.stat[li] = stDone
+	c.ar.execDone[li] = when
+	if c.tr != nil {
+		c.tr.Record(obs.Event{Cycle: when, Kind: obs.KPerform, Op: le.inst.Op,
+			Seq: le.dynSeq, TraceIdx: int32(le.traceIdx), Key: obs.KeyNone, Addr: le.inst.Addr, N: val})
+	}
 }
 
 // ---- dispatch -----------------------------------------------------------------

@@ -12,12 +12,12 @@ import (
 // misspeculation sources.
 var DebugSquash func(lineAddr uint64, eviction bool)
 
-// onLineRemoved is the hierarchy's invalidation/eviction listener: it snoops
-// the load queue. A performed, non-retired load on the removed line is
-// squashed if it is speculative under the core's model — the mechanism that
-// dynamically enforces store atomicity exactly when a violation would
+// OnLineRemoved is the hierarchy's invalidation/eviction notification: it
+// snoops the load queue. A performed, non-retired load on the removed line
+// is squashed if it is speculative under the core's model — the mechanism
+// that dynamically enforces store atomicity exactly when a violation would
 // otherwise become observable (Sections III and IV).
-func (c *Core) onLineRemoved(lineAddr uint64, when uint64, eviction bool) {
+func (c *Core) OnLineRemoved(lineAddr uint64, when uint64, eviction bool) {
 	if c.done {
 		return
 	}

@@ -12,24 +12,24 @@ import (
 // by an owner-to-requester forward and the owner downgrades to Shared.
 func TestOwnerForwarding(t *testing.T) {
 	h, evq := newTestHierarchy(2)
-	var w uint64
-	h.Store(0, 0x5000, 8, 77, 0, 0, func(when uint64) { w = when })
-	runUntil(evq, 1_000_000)
+	w := h.Store(0, 0x5000, 8, 77, 0, 0, 0)
+	runUntil(h, evq, 1_000_000)
 	if w == 0 {
 		t.Fatal("store never completed")
 	}
 	fwdBefore := h.Stats.OwnerForwards
 
 	var val, when uint64
-	h.Load(1, 0x5000, 8, w+1, func(v, wh uint64) { val, when = v, wh })
-	runUntil(evq, w+1_000_000)
+	h.SetClient(1, &testClient{load: func(ref, v, wh uint64) { val, when = v, wh }})
+	h.Load(1, 0x5000, 8, w+1, 1)
+	runUntil(h, evq, w+1_000_000)
 	if val != 77 {
 		t.Fatalf("forwarded value = %d, want 77", val)
 	}
 	if h.Stats.OwnerForwards == fwdBefore {
 		t.Error("expected an owner forward")
 	}
-	runUntil(evq, when+1_000)
+	runUntil(h, evq, when+1_000)
 	if st := h.l1[0].Peek(h.LineAddr(0x5000)); st != Shared {
 		t.Errorf("owner state after forward = %v, want S", st)
 	}
@@ -40,22 +40,23 @@ func TestOwnerForwarding(t *testing.T) {
 func TestUpgradeInvalidatesAllSharers(t *testing.T) {
 	h, evq := newTestHierarchy(4)
 	var done uint64
+	loadDone := &testClient{load: func(ref, v, w uint64) { done = w }}
 	for c := 0; c < 3; c++ {
-		h.Load(c, 0x6000, 8, uint64(c)*2000, func(v, w uint64) { done = w })
-		runUntil(evq, 1_000_000)
+		h.SetClient(c, loadDone)
+		h.Load(c, 0x6000, 8, uint64(c)*2000, 1)
+		runUntil(h, evq, 1_000_000)
 	}
 	invals := map[int]uint64{}
 	for c := 0; c < 4; c++ {
 		c := c
-		h.SetInvalListener(c, func(line uint64, cycle uint64, ev bool) {
+		h.SetClient(c, &testClient{removed: func(line, cycle uint64, ev bool) {
 			if line == h.LineAddr(0x6000) && !ev {
 				invals[c] = cycle
 			}
-		})
+		}})
 	}
-	var w uint64
-	h.Store(3, 0x6000, 8, 5, done+10, 0, func(when uint64) { w = when })
-	runUntil(evq, done+1_000_000)
+	w := h.Store(3, 0x6000, 8, 5, done+10, 0, 0)
+	runUntil(h, evq, done+1_000_000)
 	if w == 0 {
 		t.Fatal("store never completed")
 	}
@@ -85,18 +86,21 @@ func TestDirectoryEvictionBackInvalidates(t *testing.T) {
 	h := NewHierarchy(2, cfg.Mem, noc.New(cfg.NoC, 0, 1), evq)
 
 	victim := false
-	h.SetInvalListener(0, func(line uint64, cycle uint64, ev bool) {
-		if !ev {
-			victim = true
-		}
-	})
 	var when uint64
-	h.Load(0, 0x9000, 8, 0, func(v, w uint64) { when = w })
-	evq.RunUntil(1_000_000)
+	h.SetClient(0, &testClient{
+		removed: func(line, cycle uint64, ev bool) {
+			if !ev {
+				victim = true
+			}
+		},
+		load: func(ref, v, w uint64) { when = w },
+	})
+	h.Load(0, 0x9000, 8, 0, 1)
+	runUntil(h, evq, 1_000_000)
 	// Core 1 floods the directory.
 	for i := uint64(0); i < 4096; i++ {
-		h.Load(1, 0x100000+i*64, 8, when+i, nil)
-		evq.RunUntil(when + i + 1_000_000)
+		h.Load(1, 0x100000+i*64, 8, when+i, 0)
+		runUntil(h, evq, when+i+1_000_000)
 	}
 	if h.Stats.DirEvictions == 0 {
 		t.Fatal("directory never evicted despite the flood")

@@ -27,11 +27,34 @@ type Stats struct {
 	LoadsCompleted   uint64
 }
 
-// InvalListener is notified when a line is removed from a core's private
-// caches: by a remote invalidation (eviction=false) or by a local capacity
-// eviction (eviction=true). The core snoops its load queue on both, as the
-// paper prescribes (Section IV, "Evictions").
-type InvalListener func(lineAddr uint64, cycle uint64, eviction bool)
+// Client is the hierarchy's per-core notification surface: the core-side
+// half of every memory transaction, invoked when batched events fire. It
+// replaces the old per-request callback closures — requests carry an opaque
+// uint64 ref instead, so issuing a memory operation allocates nothing.
+//
+// OnLineRemoved is called when a line leaves the core's private caches: by a
+// remote invalidation (eviction=false) or by a local capacity eviction
+// (eviction=true). The core snoops its load queue on both, as the paper
+// prescribes (Section IV, "Evictions"). The other three deliver completions
+// for the ref passed to Load/Store/RMW; ref 0 requests no notification.
+type Client interface {
+	OnLineRemoved(lineAddr, when uint64, eviction bool)
+	OnLoadDone(ref, val, when uint64)
+	OnStoreWrote(ref, when uint64)
+	OnRMWDone(ref, old, when uint64)
+}
+
+// Event kinds scheduled by the hierarchy on the shared queue. The hierarchy
+// is the queue's only producer and, as the sched.Handler installed by the
+// machine, its only consumer.
+const (
+	evInval       sched.Kind = iota // remove line from a core's private caches + snoop
+	evEvictNotify                   // snoop only: the array already evicted the line
+	evDowngrade                     // owner's private copies drop to Shared
+	evLoadDone                      // read the image, deliver the load value
+	evStoreWrote                    // write the image, deliver the insertion cycle
+	evRMWDone                       // read-modify-write the image, deliver the old value
+)
 
 // Hierarchy is the full memory system: per-core private L1D+L2, shared L3,
 // sparse directory, MESI with write-atomic invalidation, all timed through
@@ -58,7 +81,7 @@ type Hierarchy struct {
 	// table presized from the trace footprint (see Reserve).
 	image addrTable
 
-	listeners []InvalListener
+	clients []Client
 
 	// tracers holds the per-core observability sinks; entries are nil when
 	// tracing is disabled.
@@ -97,7 +120,7 @@ func NewHierarchy(cores int, cfg config.Memory, net *noc.Network, evq *sched.Eve
 		l3:        NewHashedArray(config.Cache{SizeBytes: cfg.L3.SizeBytes * cfg.L3Banks, Ways: cfg.L3.Ways, LineBytes: cfg.L3.LineBytes, HitCycles: cfg.L3.HitCycles}),
 		dir:       NewDirectory(cores, cfg.L2, cfg.DirectoryWays, cfg.DirectoryCoverage, cfg.L2.LineBytes),
 		image:     newAddrTable(0),
-		listeners: make([]InvalListener, cores),
+		clients:   make([]Client, cores),
 		tracers:   make([]*obs.CoreTracer, cores),
 		hists:     make([]*hist.Collector, cores),
 		busyUntil: newAddrTable(0),
@@ -112,8 +135,51 @@ func NewHierarchy(cores int, cfg config.Memory, net *noc.Network, evq *sched.Eve
 	return h
 }
 
-// SetInvalListener registers the core's LQ-snoop callback.
-func (h *Hierarchy) SetInvalListener(core int, fn InvalListener) { h.listeners[core] = fn }
+// SetClient registers the core's notification surface.
+func (h *Hierarchy) SetClient(core int, c Client) { h.clients[core] = c }
+
+// HandleBatch fires a drained batch of due events in delivery order. The
+// machine installs the hierarchy as the clock's handler; one drain hands the
+// core side a slice view of everything due this cycle instead of one
+// callback invocation per message.
+func (h *Hierarchy) HandleBatch(evs []sched.Event) {
+	for i := range evs {
+		ev := &evs[i]
+		core := int(ev.Core)
+		switch ev.Kind {
+		case evInval:
+			h.l1[core].SetState(ev.Addr, Invalid)
+			h.l2[core].SetState(ev.Addr, Invalid)
+			h.recordSnoop(core, ev.Addr, ev.Cycle, ev.Evict)
+			if c := h.clients[core]; c != nil {
+				c.OnLineRemoved(ev.Addr, ev.Cycle, ev.Evict)
+			}
+		case evEvictNotify:
+			h.recordSnoop(core, ev.Addr, ev.Cycle, true)
+			if c := h.clients[core]; c != nil {
+				c.OnLineRemoved(ev.Addr, ev.Cycle, true)
+			}
+		case evDowngrade:
+			h.l1[core].SetState(ev.Addr, Shared)
+			h.l2[core].SetState(ev.Addr, Shared)
+		case evLoadDone:
+			if ev.Ref != 0 {
+				h.clients[core].OnLoadDone(ev.Ref, h.ReadImage(ev.Addr, ev.Size), ev.Cycle)
+			}
+		case evStoreWrote:
+			h.WriteImage(ev.Addr, ev.Size, ev.Val)
+			if ev.Ref != 0 {
+				h.clients[core].OnStoreWrote(ev.Ref, ev.Cycle)
+			}
+		case evRMWDone:
+			old := h.ReadImage(ev.Addr, ev.Size)
+			h.WriteImage(ev.Addr, ev.Size, old+ev.Val)
+			if ev.Ref != 0 {
+				h.clients[core].OnRMWDone(ev.Ref, old, ev.Cycle)
+			}
+		}
+	}
+}
 
 // AttachTracer sets the observability sink for one core's snoop events
 // (nil disables it).
@@ -215,28 +281,18 @@ func (h *Hierarchy) advance(t uint64) {
 // ---- invalidations and evictions -------------------------------------------
 
 // invalidateCore removes the line from core's private caches at cycle when
-// and notifies the core's listener.
+// and notifies the core's client.
 func (h *Hierarchy) invalidateCore(core int, lineAddr, when uint64, eviction bool) {
-	h.evq.Schedule(when, func() {
-		h.l1[core].SetState(lineAddr, Invalid)
-		h.l2[core].SetState(lineAddr, Invalid)
-		h.recordSnoop(core, lineAddr, when, eviction)
-		if l := h.listeners[core]; l != nil {
-			l(lineAddr, when, eviction)
-		}
-	})
+	h.evq.Schedule(sched.Event{Cycle: when, Kind: evInval, Evict: eviction,
+		Core: int32(core), Addr: lineAddr})
 }
 
 // notifyEviction tells the core's own LQ about a local eviction without
 // touching cache state (the array already evicted the victim).
 func (h *Hierarchy) notifyEviction(core int, lineAddr, when uint64) {
 	h.Stats.L1Evictions++
-	h.evq.Schedule(when, func() {
-		h.recordSnoop(core, lineAddr, when, true)
-		if l := h.listeners[core]; l != nil {
-			l(lineAddr, when, true)
-		}
-	})
+	h.evq.Schedule(sched.Event{Cycle: when, Kind: evEvictNotify,
+		Core: int32(core), Addr: lineAddr})
 }
 
 // fillPrivate inserts lineAddr into core's L2 and L1 with state s, handling
@@ -325,21 +381,18 @@ func (h *Hierarchy) evictDirEntry(ev dirEntry, t uint64) {
 
 // ---- load path --------------------------------------------------------------
 
-// Load performs a data read for core at cycle t. done runs at the perform
-// cycle with the value read from the memory image at that cycle. done may be
-// nil (prefetch).
-func (h *Hierarchy) Load(core int, addr uint64, size uint8, t uint64, done func(val uint64, when uint64)) {
+// Load performs a data read for core at cycle t. The client's OnLoadDone
+// runs at the perform cycle with the value read from the memory image at
+// that cycle; ref 0 skips the notification (prefetch).
+func (h *Hierarchy) Load(core int, addr uint64, size uint8, t uint64, ref uint64) {
 	h.advance(t)
 	when, lvl := h.loadLine(core, addr, t, false)
 	h.Stats.LoadsCompleted++
 	if hc := h.hists[core]; hc != nil {
 		hc.Observe(lvl, when-t)
 	}
-	h.evq.Schedule(when, func() {
-		if done != nil {
-			done(h.ReadImage(addr, size), when)
-		}
-	})
+	h.evq.Schedule(sched.Event{Cycle: when, Kind: evLoadDone, Size: size,
+		Core: int32(core), Addr: addr, Ref: ref})
 	h.maybePrefetch(core, addr, t)
 }
 
@@ -391,10 +444,8 @@ func (h *Hierarchy) loadLine(core int, addr uint64, t uint64, prefetch bool) (ui
 		lvl = hist.LoadRemote
 		owner := e.owner
 		fwd := req + h.ctrl()
-		h.evq.Schedule(fwd, func() {
-			h.l1[owner].SetState(lineAddr, Shared)
-			h.l2[owner].SetState(lineAddr, Shared)
-		})
+		h.evq.Schedule(sched.Event{Cycle: fwd, Kind: evDowngrade,
+			Core: int32(owner), Addr: lineAddr})
 		dataAt = fwd + h.data()
 		h.Stats.Writebacks++
 		e.presentL3 = true
@@ -458,33 +509,27 @@ func (h *Hierarchy) maybePrefetch(core int, addr uint64, t uint64) {
 // the memory image at the completion cycle, and runs done. notBefore lets
 // the core pipeline its SB drain while keeping TSO's in-order insertion: a
 // store never completes before its program-order predecessor. The insertion
-// cycle is returned.
-func (h *Hierarchy) Store(core int, addr uint64, size uint8, val uint64, t, notBefore uint64, done func(when uint64)) uint64 {
+// cycle is returned; the client's OnStoreWrote runs at that cycle after the
+// image write (ref 0 skips the notification).
+func (h *Hierarchy) Store(core int, addr uint64, size uint8, val uint64, t, notBefore uint64, ref uint64) uint64 {
 	h.advance(t)
 	when := h.storeLine(core, addr, t, notBefore)
 	h.Stats.StoresCompleted++
-	h.evq.Schedule(when, func() {
-		h.WriteImage(addr, size, val)
-		if done != nil {
-			done(when)
-		}
-	})
+	h.evq.Schedule(sched.Event{Cycle: when, Kind: evStoreWrote, Size: size,
+		Core: int32(core), Addr: addr, Val: val, Ref: ref})
 	return when
 }
 
 // RMW atomically reads the old value and writes old+add at the completion
-// cycle. The caller is responsible for TSO atomic semantics (SB drain).
-func (h *Hierarchy) RMW(core int, addr uint64, size uint8, add uint64, t uint64, done func(old uint64, when uint64)) {
+// cycle; the client's OnRMWDone then runs with the old value (ref 0 skips
+// the notification). The caller is responsible for TSO atomic semantics (SB
+// drain).
+func (h *Hierarchy) RMW(core int, addr uint64, size uint8, add uint64, t uint64, ref uint64) {
 	h.advance(t)
 	when := h.storeLine(core, addr, t, 0)
 	h.Stats.StoresCompleted++
-	h.evq.Schedule(when, func() {
-		old := h.ReadImage(addr, size)
-		h.WriteImage(addr, size, old+add)
-		if done != nil {
-			done(old, when)
-		}
-	})
+	h.evq.Schedule(sched.Event{Cycle: when, Kind: evRMWDone, Size: size,
+		Core: int32(core), Addr: addr, Val: add, Ref: ref})
 }
 
 // PrefetchOwner issues a read-for-ownership prefetch for a store that has

@@ -137,8 +137,43 @@ func newTestHierarchy(cores int) (*Hierarchy, *sched.EventQueue) {
 	return NewHierarchy(cores, cfg.Mem, net, evq), evq
 }
 
-func runUntil(evq *sched.EventQueue, cycle uint64) {
-	evq.RunUntil(cycle)
+// testClient adapts per-test closures to the Client interface; nil fields
+// ignore that notification.
+type testClient struct {
+	removed func(line, when uint64, eviction bool)
+	load    func(ref, val, when uint64)
+	store   func(ref, when uint64)
+	rmw     func(ref, old, when uint64)
+}
+
+func (c *testClient) OnLineRemoved(line, when uint64, ev bool) {
+	if c.removed != nil {
+		c.removed(line, when, ev)
+	}
+}
+
+func (c *testClient) OnLoadDone(ref, val, when uint64) {
+	if c.load != nil {
+		c.load(ref, val, when)
+	}
+}
+
+func (c *testClient) OnStoreWrote(ref, when uint64) {
+	if c.store != nil {
+		c.store(ref, when)
+	}
+}
+
+func (c *testClient) OnRMWDone(ref, old, when uint64) {
+	if c.rmw != nil {
+		c.rmw(ref, old, when)
+	}
+}
+
+// runUntil fires all events due by cycle into the hierarchy itself, as the
+// machine does.
+func runUntil(h *Hierarchy, evq *sched.EventQueue, cycle uint64) {
+	evq.RunUntil(cycle, h)
 }
 
 func TestHierarchyLoadLatencies(t *testing.T) {
@@ -146,15 +181,16 @@ func TestHierarchyLoadLatencies(t *testing.T) {
 	h.WriteImage(0x1000, 8, 99)
 
 	var gotVal, gotWhen uint64
-	h.Load(0, 0x1000, 8, 0, func(v, w uint64) { gotVal, gotWhen = v, w })
-	runUntil(evq, 10_000)
+	h.SetClient(0, &testClient{load: func(ref, v, w uint64) { gotVal, gotWhen = v, w }})
+	h.Load(0, 0x1000, 8, 0, 1)
+	runUntil(h, evq, 10_000)
 	if gotVal != 99 {
 		t.Fatalf("cold load value = %d", gotVal)
 	}
 	coldWhen := gotWhen
 	// L1 hit: exactly the L1 latency.
-	h.Load(0, 0x1000, 8, coldWhen, func(v, w uint64) { gotVal, gotWhen = v, w })
-	runUntil(evq, coldWhen+100)
+	h.Load(0, 0x1000, 8, coldWhen, 1)
+	runUntil(h, evq, coldWhen+100)
 	if gotWhen != coldWhen+4 {
 		t.Errorf("L1 hit latency = %d, want 4", gotWhen-coldWhen)
 	}
@@ -172,23 +208,26 @@ func TestWriteAtomicity(t *testing.T) {
 	h, evq := newTestHierarchy(2)
 	h.WriteImage(0x2000, 8, 1)
 
-	var invalAt uint64
-	h.SetInvalListener(1, func(line uint64, cycle uint64, ev bool) {
-		if line == h.LineAddr(0x2000) && !ev {
-			invalAt = cycle
-		}
+	var invalAt, loaded uint64
+	h.SetClient(1, &testClient{
+		removed: func(line, cycle uint64, ev bool) {
+			if line == h.LineAddr(0x2000) && !ev {
+				invalAt = cycle
+			}
+		},
+		load: func(ref, v, w uint64) { loaded = w },
 	})
 
-	var loaded uint64
-	h.Load(1, 0x2000, 8, 0, func(v, w uint64) { loaded = w })
-	runUntil(evq, 10_000)
+	h.Load(1, 0x2000, 8, 0, 1)
+	runUntil(h, evq, 10_000)
 	if loaded == 0 {
 		t.Fatal("load did not complete")
 	}
 
 	var storeDone uint64
-	h.Store(0, 0x2000, 8, 42, loaded+1, 0, func(w uint64) { storeDone = w })
-	runUntil(evq, loaded+10_000)
+	h.SetClient(0, &testClient{store: func(ref, w uint64) { storeDone = w }})
+	h.Store(0, 0x2000, 8, 42, loaded+1, 0, 1)
+	runUntil(h, evq, loaded+10_000)
 	if storeDone == 0 {
 		t.Fatal("store did not complete")
 	}
@@ -206,13 +245,12 @@ func TestWriteAtomicity(t *testing.T) {
 
 func TestStoreNotBeforeClamp(t *testing.T) {
 	h, evq := newTestHierarchy(1)
-	var w1, w2 uint64
-	h.Store(0, 0x3000, 8, 1, 0, 0, func(w uint64) { w1 = w })
-	runUntil(evq, 100_000)
+	w1 := h.Store(0, 0x3000, 8, 1, 0, 0, 0)
+	runUntil(h, evq, 100_000)
 	// Second store to the now-owned line, with a notBefore far in the
 	// future: the insertion must be clamped.
-	h.Store(0, 0x3000, 8, 2, w1+1, w1+500, func(w uint64) { w2 = w })
-	runUntil(evq, w1+10_000)
+	w2 := h.Store(0, 0x3000, 8, 2, w1+1, w1+500, 0)
+	runUntil(h, evq, w1+10_000)
 	if w2 < w1+500 {
 		t.Errorf("store inserted at %d, notBefore %d ignored", w2, w1+500)
 	}
@@ -222,8 +260,9 @@ func TestRMWReturnsOldValue(t *testing.T) {
 	h, evq := newTestHierarchy(1)
 	h.WriteImage(0x4000, 8, 10)
 	var old uint64
-	h.RMW(0, 0x4000, 8, 5, 0, func(o, w uint64) { old = o })
-	runUntil(evq, 10_000)
+	h.SetClient(0, &testClient{rmw: func(ref, o, w uint64) { old = o }})
+	h.RMW(0, 0x4000, 8, 5, 0, 1)
+	runUntil(h, evq, 10_000)
 	if old != 10 {
 		t.Errorf("RMW old = %d, want 10", old)
 	}
@@ -251,18 +290,21 @@ func TestImagePartialWrites(t *testing.T) {
 func TestEvictionNotifiesOwnCore(t *testing.T) {
 	h, evq := newTestHierarchy(1)
 	evictions := 0
-	h.SetInvalListener(0, func(line uint64, cycle uint64, ev bool) {
-		if ev {
-			evictions++
-		}
+	var when uint64
+	h.SetClient(0, &testClient{
+		removed: func(line, cycle uint64, ev bool) {
+			if ev {
+				evictions++
+			}
+		},
+		load: func(ref, v, w uint64) { when = w },
 	})
 	// Walk far more lines than the L1 holds.
 	lines := h.l1[0].setMask + 1
 	total := (lines + 1) * 8 * 2 // sets * ways * 2
-	var when uint64
 	for i := uint64(0); i < total; i++ {
-		h.Load(0, i*64, 8, when, func(v, w uint64) { when = w })
-		evq.RunUntil(when + 100_000)
+		h.Load(0, i*64, 8, when, 1)
+		runUntil(h, evq, when+100_000)
 		when++
 	}
 	if evictions == 0 {
@@ -273,9 +315,10 @@ func TestEvictionNotifiesOwnCore(t *testing.T) {
 func TestStridePrefetcherFires(t *testing.T) {
 	h, evq := newTestHierarchy(1)
 	var when uint64
+	h.SetClient(0, &testClient{load: func(ref, v, w uint64) { when = w }})
 	for i := uint64(0); i < 16; i++ {
-		h.Load(0, 0x10000+i*64, 8, when, func(v, w uint64) { when = w })
-		evq.RunUntil(when + 100_000)
+		h.Load(0, 0x10000+i*64, 8, when, 1)
+		runUntil(h, evq, when+100_000)
 	}
 	if h.Stats.Prefetches == 0 {
 		t.Error("stride prefetcher never fired on a unit-line stride")
@@ -285,11 +328,10 @@ func TestStridePrefetcherFires(t *testing.T) {
 func TestRFOPrefetchMakesDrainHit(t *testing.T) {
 	h, evq := newTestHierarchy(1)
 	h.PrefetchOwner(0, 0x20000, 0)
-	runUntil(evq, 100_000)
+	runUntil(h, evq, 100_000)
 	missesBefore := h.Stats.L1Misses
-	var done uint64
-	h.Store(0, 0x20000, 8, 7, 1000, 0, func(w uint64) { done = w })
-	runUntil(evq, 100_000)
+	done := h.Store(0, 0x20000, 8, 7, 1000, 0, 0)
+	runUntil(h, evq, 100_000)
 	if h.Stats.L1Misses != missesBefore {
 		t.Error("store after RFO prefetch should hit the L1")
 	}

@@ -7,34 +7,57 @@
 // progress, skipping dead cycles without changing a single simulated one.
 package sched
 
-import "container/heap"
-
 // Never marks a core with no timed wake-up: only a memory-system event can
 // unblock it.
 const Never = ^uint64(0)
 
-// Event is a scheduled callback: at Cycle, Fn runs. Events scheduled for the
-// same cycle fire in insertion order, keeping the simulation deterministic.
+// Kind tags an event's meaning. The values are opaque to this package; the
+// handler that drains the queue interprets them.
+type Kind uint8
+
+// Event is one scheduled memory-system message, a plain value: no callback
+// closure, so scheduling never allocates. The payload fields mean whatever
+// the Kind's handler says they mean (a line address, a data value, an
+// in-flight-instruction reference). Events scheduled for the same cycle are
+// delivered in insertion order, keeping the simulation deterministic.
 type Event struct {
 	Cycle uint64
-	Fn    func()
 	seq   uint64
+	Kind  Kind
+	Evict bool
+	Size  uint8
+	Core  int32
+	Addr  uint64
+	Val   uint64
+	Ref   uint64
+}
+
+// Handler consumes a batch of due events, in delivery order. A drain hands
+// the handler one slice view per flush instead of one callback invocation
+// per message; the slice is owned by the queue and valid only for the call.
+type Handler interface {
+	HandleBatch([]Event)
 }
 
 // EventQueue is a deterministic min-heap of events ordered by (cycle,
 // insertion sequence). It is the spine of the memory-system timing model.
+// The heap is a plain slice of event values — scheduling and draining touch
+// no interface boxes and allocate nothing in steady state.
 type EventQueue struct {
-	h   eventHeap
-	seq uint64
+	h     []Event
+	seq   uint64
+	batch []Event
 }
 
 // NewEventQueue returns an empty queue.
 func NewEventQueue() *EventQueue { return &EventQueue{} }
 
-// Schedule enqueues fn to run at the given cycle.
-func (q *EventQueue) Schedule(cycle uint64, fn func()) {
+// Schedule enqueues the event for delivery at ev.Cycle.
+func (q *EventQueue) Schedule(ev Event) {
 	q.seq++
-	heap.Push(&q.h, Event{Cycle: cycle, Fn: fn, seq: q.seq})
+	ev.seq = q.seq
+	q.h = append(q.h, ev)
+	q.siftUp(len(q.h) - 1)
 }
 
 // Len returns the number of pending events.
@@ -49,31 +72,62 @@ func (q *EventQueue) NextCycle() (cycle uint64, ok bool) {
 	return q.h[0].Cycle, true
 }
 
-// RunUntil fires, in order, every event scheduled at or before cycle.
-func (q *EventQueue) RunUntil(cycle uint64) {
+// RunUntil delivers, in order, every event scheduled at or before cycle:
+// due events are drained into a reusable buffer and handed to h as one
+// batch. Handling may schedule further events; any that fall due are
+// drained in a following batch, preserving the (cycle, seq) firing order a
+// callback-per-message queue would have produced.
+func (q *EventQueue) RunUntil(cycle uint64, h Handler) {
 	for len(q.h) > 0 && q.h[0].Cycle <= cycle {
-		ev := heap.Pop(&q.h).(Event)
-		ev.Fn()
+		q.batch = q.batch[:0]
+		for len(q.h) > 0 && q.h[0].Cycle <= cycle {
+			q.batch = append(q.batch, q.pop())
+		}
+		h.HandleBatch(q.batch)
 	}
 }
 
-type eventHeap []Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].Cycle != h[j].Cycle {
-		return h[i].Cycle < h[j].Cycle
+// less orders the heap by (cycle, insertion sequence).
+func (q *EventQueue) less(i, j int) bool {
+	if q.h[i].Cycle != q.h[j].Cycle {
+		return q.h[i].Cycle < q.h[j].Cycle
 	}
-	return h[i].seq < h[j].seq
+	return q.h[i].seq < q.h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(Event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	*h = old[:n-1]
-	return ev
+
+func (q *EventQueue) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			return
+		}
+		q.h[i], q.h[parent] = q.h[parent], q.h[i]
+		i = parent
+	}
+}
+
+func (q *EventQueue) pop() Event {
+	top := q.h[0]
+	n := len(q.h) - 1
+	q.h[0] = q.h[n]
+	q.h = q.h[:n]
+	// Sift down.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && q.less(l, small) {
+			small = l
+		}
+		if r < n && q.less(r, small) {
+			small = r
+		}
+		if small == i {
+			return top
+		}
+		q.h[i], q.h[small] = q.h[small], q.h[i]
+		i = small
+	}
 }
 
 // Clock is the two-level simulation clock: the current cycle, the event
@@ -99,8 +153,8 @@ func NewClock(cores int) *Clock {
 // Now returns the current cycle.
 func (c *Clock) Now() uint64 { return c.now }
 
-// Deliver fires every event scheduled at or before the current cycle.
-func (c *Clock) Deliver() { c.RunUntil(c.now) }
+// Deliver hands h every event scheduled at or before the current cycle.
+func (c *Clock) Deliver(h Handler) { c.RunUntil(c.now, h) }
 
 // Tick advances the clock one cycle.
 func (c *Clock) Tick() { c.now++ }

@@ -5,14 +5,28 @@ import (
 	"testing/quick"
 )
 
+// batchFunc adapts a function to the Handler interface for tests.
+type batchFunc func([]Event)
+
+func (f batchFunc) HandleBatch(evs []Event) { f(evs) }
+
+// collect returns a handler appending every delivered event's Val to out.
+func collect(out *[]uint64) Handler {
+	return batchFunc(func(evs []Event) {
+		for _, ev := range evs {
+			*out = append(*out, ev.Val)
+		}
+	})
+}
+
 func TestEventQueueOrdering(t *testing.T) {
 	q := NewEventQueue()
-	var order []int
-	q.Schedule(10, func() { order = append(order, 2) })
-	q.Schedule(5, func() { order = append(order, 1) })
-	q.Schedule(10, func() { order = append(order, 3) }) // same cycle: FIFO
-	q.Schedule(20, func() { order = append(order, 4) })
-	q.RunUntil(10)
+	var order []uint64
+	q.Schedule(Event{Cycle: 10, Val: 2})
+	q.Schedule(Event{Cycle: 5, Val: 1})
+	q.Schedule(Event{Cycle: 10, Val: 3}) // same cycle: FIFO
+	q.Schedule(Event{Cycle: 20, Val: 4})
+	q.RunUntil(10, collect(&order))
 	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
 		t.Fatalf("order = %v", order)
 	}
@@ -23,7 +37,7 @@ func TestEventQueueOrdering(t *testing.T) {
 	if !ok || next != 20 {
 		t.Fatalf("next = %d ok=%v", next, ok)
 	}
-	q.RunUntil(100)
+	q.RunUntil(100, collect(&order))
 	if len(order) != 4 || order[3] != 4 {
 		t.Fatalf("final order = %v", order)
 	}
@@ -31,19 +45,57 @@ func TestEventQueueOrdering(t *testing.T) {
 
 func TestEventQueueScheduleDuringRun(t *testing.T) {
 	q := NewEventQueue()
-	var fired []int
-	q.Schedule(1, func() {
-		fired = append(fired, 1)
-		q.Schedule(1, func() { fired = append(fired, 2) }) // same cycle, later seq
-		q.Schedule(5, func() { fired = append(fired, 3) })
+	var fired []uint64
+	h := batchFunc(func(evs []Event) {
+		for _, ev := range evs {
+			fired = append(fired, ev.Val)
+			if ev.Val == 1 {
+				// Handling may schedule further events; a same-cycle one
+				// must still fire within this RunUntil, after the batch.
+				q.Schedule(Event{Cycle: 1, Val: 2})
+				q.Schedule(Event{Cycle: 5, Val: 3})
+			}
+		}
 	})
-	q.RunUntil(1)
+	q.Schedule(Event{Cycle: 1, Val: 1})
+	q.RunUntil(1, h)
 	if len(fired) != 2 || fired[1] != 2 {
 		t.Fatalf("nested same-cycle event not fired in order: %v", fired)
 	}
-	q.RunUntil(5)
+	q.RunUntil(5, h)
 	if len(fired) != 3 {
 		t.Fatalf("future nested event lost: %v", fired)
+	}
+}
+
+func TestEventQueueBatchView(t *testing.T) {
+	// A drain hands the handler one contiguous slice of all due events
+	// rather than one call per message.
+	q := NewEventQueue()
+	for i := uint64(1); i <= 6; i++ {
+		q.Schedule(Event{Cycle: i % 3, Val: i})
+	}
+	var calls int
+	var got []uint64
+	q.RunUntil(2, batchFunc(func(evs []Event) {
+		calls++
+		for _, ev := range evs {
+			got = append(got, ev.Val)
+		}
+	}))
+	if calls != 1 {
+		t.Fatalf("drain made %d handler calls, want 1 batch", calls)
+	}
+	// Cycle 0: vals 3,6; cycle 1: 1,4; cycle 2: 2,5 — insertion order within
+	// each cycle.
+	want := []uint64{3, 6, 1, 4, 2, 5}
+	if len(got) != len(want) {
+		t.Fatalf("batch = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("batch = %v, want %v", got, want)
+		}
 	}
 }
 
@@ -54,10 +106,9 @@ func TestEventQueueMonotonic(t *testing.T) {
 		q := NewEventQueue()
 		var fired []uint64
 		for _, c := range cycles {
-			c := uint64(c)
-			q.Schedule(c, func() { fired = append(fired, c) })
+			q.Schedule(Event{Cycle: uint64(c), Val: uint64(c)})
 		}
-		q.RunUntil(1 << 20)
+		q.RunUntil(1<<20, collect(&fired))
 		for i := 1; i < len(fired); i++ {
 			if fired[i] < fired[i-1] {
 				return false
@@ -76,16 +127,17 @@ func TestClockTickAndDeliver(t *testing.T) {
 		t.Fatalf("new clock at cycle %d", c.Now())
 	}
 	var fired []uint64
-	c.Schedule(0, func() { fired = append(fired, 0) })
-	c.Schedule(2, func() { fired = append(fired, 2) })
-	c.Deliver() // cycle 0: fires the first event only
+	h := collect(&fired)
+	c.Schedule(Event{Cycle: 0, Val: 0})
+	c.Schedule(Event{Cycle: 2, Val: 2})
+	c.Deliver(h) // cycle 0: fires the first event only
 	c.Tick()
-	c.Deliver() // cycle 1: nothing due
+	c.Deliver(h) // cycle 1: nothing due
 	if len(fired) != 1 || fired[0] != 0 {
 		t.Fatalf("fired = %v, want [0]", fired)
 	}
 	c.Tick()
-	c.Deliver() // cycle 2
+	c.Deliver(h) // cycle 2
 	if len(fired) != 2 || fired[1] != 2 {
 		t.Fatalf("fired = %v, want [0 2]", fired)
 	}
@@ -102,7 +154,7 @@ func TestClockHorizon(t *testing.T) {
 	if h := c.Horizon(100); h != 25 {
 		t.Fatalf("wake horizon = %d, want 25", h)
 	}
-	c.Schedule(17, func() {})
+	c.Schedule(Event{Cycle: 17})
 	if h := c.Horizon(100); h != 17 {
 		t.Fatalf("event horizon = %d, want 17", h)
 	}
@@ -130,5 +182,28 @@ func TestClockAdvanceTo(t *testing.T) {
 	c.Tick()
 	if c.Now() != 11 {
 		t.Fatalf("now after Tick = %d, want 11", c.Now())
+	}
+}
+
+func TestScheduleDrainAllocFree(t *testing.T) {
+	// Steady-state scheduling and draining must not allocate: the heap and
+	// batch buffer are reused once warmed up.
+	q := NewEventQueue()
+	h := batchFunc(func([]Event) {})
+	// Warm up the backing arrays.
+	for i := uint64(0); i < 64; i++ {
+		q.Schedule(Event{Cycle: i})
+	}
+	q.RunUntil(1<<30, h)
+	cycle := uint64(1 << 30)
+	allocs := testing.AllocsPerRun(1000, func() {
+		for i := uint64(0); i < 32; i++ {
+			q.Schedule(Event{Cycle: cycle + i})
+		}
+		q.RunUntil(cycle+32, h)
+		cycle += 64
+	})
+	if allocs != 0 {
+		t.Fatalf("schedule+drain allocated %.1f times per run, want 0", allocs)
 	}
 }

@@ -225,7 +225,7 @@ func (m *Machine) Done() bool {
 // core's quiescence report into the clock's wake registrations.
 func (m *Machine) Step() {
 	now := m.clock.Now()
-	m.clock.Deliver()
+	m.clock.Deliver(m.hier)
 	quiet := true
 	for i, c := range m.cores {
 		progressed, wake := c.Tick(now)
@@ -342,7 +342,7 @@ func (m *Machine) RunContext(ctx context.Context, maxCycles uint64) error {
 func (m *Machine) finish() {
 	for m.clock.Len() > 0 {
 		next, _ := m.clock.NextCycle()
-		m.clock.RunUntil(next)
+		m.clock.RunUntil(next, m.hier)
 	}
 	m.Stats.Cycles = m.clock.Now()
 	m.captureNoC()
