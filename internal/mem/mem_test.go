@@ -340,6 +340,34 @@ func TestRFOPrefetchMakesDrainHit(t *testing.T) {
 	}
 }
 
+// TestMemoryOpDeliveryZeroAlloc pins the event path's allocation budget:
+// with the tables warm, issuing loads and stores and delivering their
+// completion events must not allocate. Requests are plain uint64 refs and
+// events are heap values, so there is no per-operation closure or box.
+func TestMemoryOpDeliveryZeroAlloc(t *testing.T) {
+	h, evq := newTestHierarchy(1)
+	h.SetClient(0, &testClient{})
+	h.Reserve(64, 64)
+	// Warm up a small footprint so the caches, directory, image and busy
+	// tables reach steady state.
+	var now uint64
+	for i := uint64(0); i < 512; i++ {
+		h.Load(0, (i*64)%2048, 8, now, 1)
+		h.Store(0, (i*64+8)%2048, 8, i, now, 0, 1)
+		runUntil(h, evq, now+1_000_000)
+		now += 100
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Load(0, now%2048, 8, now, 1)
+		h.Store(0, (now+8)%2048, 8, 1, now, 0, 1)
+		runUntil(h, evq, now+1_000_000)
+		now += 64
+	})
+	if allocs != 0 {
+		t.Errorf("load+store+delivery allocates %.2f per op pair, want 0", allocs)
+	}
+}
+
 // TestImageReadWriteRoundTrip is a property test on the data image.
 func TestImageReadWriteRoundTrip(t *testing.T) {
 	h, _ := newTestHierarchy(1)

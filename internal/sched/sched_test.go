@@ -207,3 +207,26 @@ func TestScheduleDrainAllocFree(t *testing.T) {
 		t.Fatalf("schedule+drain allocated %.1f times per run, want 0", allocs)
 	}
 }
+
+// BenchmarkEventQueueScheduleDrain is the NoC delivery path: schedule a
+// burst of events and drain them as one batch. The CI perf-guard pins its
+// allocs/op at zero.
+func BenchmarkEventQueueScheduleDrain(b *testing.B) {
+	q := NewEventQueue()
+	h := batchFunc(func([]Event) {})
+	// Warm the heap and batch buffer.
+	for i := uint64(0); i < 64; i++ {
+		q.Schedule(Event{Cycle: i})
+	}
+	q.RunUntil(1<<40, h)
+	b.ReportAllocs()
+	b.ResetTimer()
+	cycle := uint64(1 << 40)
+	for i := 0; i < b.N; i++ {
+		for j := uint64(0); j < 32; j++ {
+			q.Schedule(Event{Cycle: cycle + j})
+		}
+		q.RunUntil(cycle+32, h)
+		cycle += 64
+	}
+}

@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"testing"
+
+	"sesa/internal/config"
+	"sesa/internal/trace"
+)
+
+// benchMachine builds a warm machine on the barnes workload: programs
+// installed, predictors and tables past their cold-start transient.
+func benchMachine(b *testing.B, n int) *Machine {
+	b.Helper()
+	p, ok := trace.Lookup("barnes")
+	if !ok {
+		b.Fatal("barnes workload missing")
+	}
+	cfg := config.Default(config.X86)
+	m, err := New(cfg, "barnes")
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := trace.Build(p, cfg.Cores, n, 42)
+	for c, prog := range w.Programs {
+		if err := m.SetProgram(c, prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < 20_000 && !m.Done(); i++ {
+		m.Step()
+	}
+	if m.Done() {
+		b.Fatal("workload finished during warmup")
+	}
+	return m
+}
+
+// BenchmarkMachineStepNaive is the hot loop itself: one naive-mode machine
+// step — core.Tick on every core plus batched event delivery. The CI
+// perf-guard pins its allocs/op at zero.
+func BenchmarkMachineStepNaive(b *testing.B) {
+	m := benchMachine(b, 300_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if m.Done() {
+			b.StopTimer()
+			m = benchMachine(b, 300_000)
+			b.StartTimer()
+		}
+		m.Step()
+	}
+}
+
+// BenchmarkSkipCyclesReplay is the two-level clock's bulk replay: applying
+// one skipped quiescent cycle to every core. The CI perf-guard pins its
+// allocs/op at zero.
+func BenchmarkSkipCyclesReplay(b *testing.B) {
+	m := benchMachine(b, 300_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.bulkTick(1)
+	}
+}

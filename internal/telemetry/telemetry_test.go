@@ -92,8 +92,12 @@ func TestDisabledTelemetryZeroCost(t *testing.T) {
 	span := Span{Name: StageJob, Start: time.Unix(0, 0), Dur: time.Millisecond}
 	checks := map[string]func(){
 		"nil Counter.Add":      func() { c.Inc() },
+		"nil Counter.Add(d)":   func() { c.Add(17) },
 		"nil Gauge.Set":        func() { g.Set(3) },
+		"nil Gauge.Add":        func() { g.Add(-1) },
 		"nil Timeline.Add":     func() { tl.Add(span) },
+		"nil Timeline.Spans":   func() { _ = tl.Spans() },
+		"nil Timeline.Dropped": func() { _ = tl.Dropped() },
 		"nil Registry.Counter": func() { reg.Counter("sesa_z_total", "help").Inc() },
 		"nil Registry.Render":  func() { _ = reg.Render() },
 	}
