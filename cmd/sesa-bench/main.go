@@ -6,10 +6,13 @@
 //	sesa-bench -table 3        Table III (machine configuration)
 //	sesa-bench -table 4        Table IV  (characterization under 370-SLFSoS-key)
 //	sesa-bench -fig 1 ... 5    litmus allowed sets + simulator witnesses
-//	sesa-bench -fig 9          dispatch-stall breakdown for the five models
-//	sesa-bench -fig 10         normalized execution time for the five models
+//	sesa-bench -fig 9          dispatch-stall breakdown for every machine
+//	sesa-bench -fig 10         normalized execution time for every machine
+//	sesa-bench -list-models    print the machine-model roster
 //
-// The -suite, -n and -seed flags select the workloads and scale.
+// The figure sweeps cover the whole registered roster — the paper's five
+// machines plus the related-work policies (370-Louvre, 370-RCP). The
+// -suite, -n and -seed flags select the workloads and scale.
 package main
 
 import (
@@ -37,6 +40,7 @@ var (
 	histFormat   = flag.String("hist-format", "", "histogram format, text or json; setting it (or -hist-out) enables histogram collection")
 	statusAddr   = flag.String("status-addr", "", "serve live sweep status, expvar and pprof on this address (e.g. localhost:6060)")
 	stepModeName = flag.String("step-mode", "skip", "clock stepper: skip (two-level, default) or naive (tick every cycle); outputs are byte-identical")
+	listModels   = flag.Bool("list-models", false, "print the machine-model roster and exit")
 )
 
 // stepMode is the parsed -step-mode, resolved at the top of main.
@@ -113,6 +117,11 @@ func main() {
 	fig := flag.Int("fig", 0, "regenerate a figure (1-5, 9, 10)")
 	logFlags := config.TelemetryFlags()
 	flag.Parse()
+
+	if *listModels {
+		fmt.Print(sesa.ListModels())
+		return
+	}
 
 	logger, err := telemetry.NewLogger(os.Stderr, logFlags.LogLevel, logFlags.LogFormat)
 	if err != nil {

@@ -37,8 +37,14 @@ func main() {
 	testName := flag.String("test", "", "litmus test name or comma-separated list (default: all)")
 	alloyDir := flag.String("export-alloy", "", "also write each selected test as a memalloy-style candidate-execution module (<name>.als) into this directory")
 	stepModeName := flag.String("step-mode", "skip", "accepted for CLI uniformity with the simulator binaries; the exhaustive checker is untimed, so the value has no effect")
+	listModels := flag.Bool("list-models", false, "print the machine-model roster and exit")
 	logFlags := config.TelemetryFlags()
 	flag.Parse()
+
+	if *listModels {
+		fmt.Print(sesa.ListModels())
+		return
+	}
 
 	logger, err := telemetry.NewLogger(os.Stderr, logFlags.LogLevel, logFlags.LogFormat)
 	if err != nil {

@@ -77,7 +77,7 @@ func main() {
 	slog.SetDefault(logger.With(telemetry.KeyComponent, "sesa-fuzz"))
 
 	if *listModels {
-		fmt.Println(strings.Join(sesa.ModelNames(), "\n"))
+		fmt.Print(sesa.ListModels())
 		return
 	}
 
@@ -90,7 +90,7 @@ func main() {
 	if opt.budget, err = sesa.ParseFuzzBudget(*budgetSpec); err != nil {
 		fatal(err)
 	}
-	if opt.models, err = parseModels(*modelsSpec); err != nil {
+	if opt.models, err = sesa.ParseModels(*modelsSpec); err != nil {
 		fatal(err)
 	}
 	if opt.stepMode, err = sesa.ParseStepMode(*stepModeName); err != nil {
@@ -112,34 +112,6 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, err)
 	os.Exit(1)
-}
-
-// parseModels parses the -models flag: "all", "none", or a comma-separated
-// list of machine names; unknown names are rejected with the valid list.
-func parseModels(spec string) ([]sesa.Model, error) {
-	switch spec {
-	case "all":
-		return sesa.AllModels(), nil
-	case "none", "":
-		return nil, nil
-	}
-	var models []sesa.Model
-	for _, name := range strings.Split(spec, ",") {
-		name = strings.TrimSpace(name)
-		if name == "" {
-			continue
-		}
-		m, err := sesa.ParseModel(name)
-		if err != nil {
-			return nil, fmt.Errorf("-models: unknown model %q (want all, none, or a comma list of %s)",
-				name, strings.Join(sesa.ModelNames(), ", "))
-		}
-		models = append(models, m)
-	}
-	if len(models) == 0 {
-		return nil, fmt.Errorf("-models %q selects no models", spec)
-	}
-	return models, nil
 }
 
 // run replays the corpus (if any), fuzzes count programs, and reports; it

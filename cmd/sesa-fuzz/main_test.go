@@ -62,20 +62,22 @@ func TestRunSeedReproducesBatchMember(t *testing.T) {
 	}
 }
 
+// TestParseModels exercises the shared roster parser through the -models
+// flag's entry point (the parser itself lives in internal/config).
 func TestParseModels(t *testing.T) {
-	all, err := parseModels("all")
-	if err != nil || len(all) != 5 {
+	all, err := sesa.ParseModels("all")
+	if err != nil || len(all) != len(sesa.AllModels()) {
 		t.Fatalf("all -> %v, %v", all, err)
 	}
-	none, err := parseModels("none")
+	none, err := sesa.ParseModels("none")
 	if err != nil || none != nil {
 		t.Fatalf("none -> %v, %v", none, err)
 	}
-	two, err := parseModels("x86, 370-SLFSoS-key")
+	two, err := sesa.ParseModels("x86, 370-SLFSoS-key")
 	if err != nil || len(two) != 2 || two[0] != sesa.X86 || two[1] != sesa.SLFSoSKey370 {
 		t.Fatalf("pair -> %v, %v", two, err)
 	}
-	_, err = parseModels("x86,bogus")
+	_, err = sesa.ParseModels("x86,bogus")
 	if err == nil {
 		t.Fatal("unknown model accepted")
 	}

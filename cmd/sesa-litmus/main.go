@@ -6,10 +6,11 @@
 // Usage:
 //
 //	sesa-litmus [-test mp|n6|iriw|fig5|... or a comma list: mp,n6,iriw]
-//	            [-model all|x86|...] [-iters N]
+//	            [-model all|x86,370-RCP,...] [-iters N]
 //	            [-pressure N] [-seed S]
 //	            [-trace-out trace.json] [-trace-format chrome|kanata]
 //	            [-metrics-interval N -metrics-out metrics.csv]
+//	sesa-litmus -list-models
 package main
 
 import (
@@ -27,7 +28,7 @@ import (
 
 func main() {
 	testName := flag.String("test", "", "litmus test name or comma-separated list (default: all)")
-	modelName := flag.String("model", "all", "machine model (all, x86, 370-NoSpec, 370-SLFSpec, 370-SLFSoS, 370-SLFSoS-key)")
+	modelName := flag.String("model", "all", "machine model, comma list of models, or 'all'")
 	iters := flag.Int("iters", 20, "simulator iterations per test and model")
 	pressure := flag.Int("pressure", 3, "store-buffer pressure stores per forwarding thread (0 disables)")
 	seed := flag.Uint64("seed", 1, "base seed for timing exploration")
@@ -39,8 +40,14 @@ func main() {
 	histOut := flag.String("hist-out", "", "write latency-distribution histograms to this file (empty with -hist-format set = stdout)")
 	histFormat := flag.String("hist-format", "", "histogram format, text or json; setting it (or -hist-out) enables histogram collection")
 	stepModeName := flag.String("step-mode", "skip", "clock stepper: skip (two-level, default) or naive (tick every cycle); outputs are byte-identical")
+	listModels := flag.Bool("list-models", false, "print the machine-model roster and exit")
 	logFlags := config.TelemetryFlags()
 	flag.Parse()
+
+	if *listModels {
+		fmt.Print(sesa.ListModels())
+		return
+	}
 	wantHists := *histOut != "" || *histFormat != ""
 
 	logger, err := telemetry.NewLogger(os.Stderr, logFlags.LogLevel, logFlags.LogFormat)
@@ -97,18 +104,13 @@ func main() {
 		}
 	}
 
-	models := sesa.AllModels()
-	if *modelName != "all" {
-		models = nil
-		for _, m := range sesa.AllModels() {
-			if m.String() == *modelName {
-				models = []sesa.Model{m}
-			}
+	models, err := sesa.ParseModels(*modelName)
+	if err != nil || len(models) == 0 {
+		if err == nil {
+			err = fmt.Errorf("-model %q selects no models", *modelName)
 		}
-		if models == nil {
-			fmt.Fprintf(os.Stderr, "unknown model %q\n", *modelName)
-			os.Exit(1)
-		}
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 
 	exit := 0

@@ -1,14 +1,15 @@
 // Command sesa-sim runs one Table IV benchmark on the simulated multicore
-// under one (or all) of the five consistency-model implementations, and
+// under any selection of the registered consistency-model machines, and
 // prints the characterization row, the stall breakdown and the memory-system
 // statistics.
 //
 // Usage:
 //
-//	sesa-sim -bench barnes [-model all] [-n 100000] [-seed 42]
+//	sesa-sim -bench barnes [-model all|x86,370-RCP,...] [-n 100000] [-seed 42]
 //	sesa-sim -bench ocean_cp -trace-out trace.json -trace-format chrome
 //	sesa-sim -bench barnes -metrics-interval 1000 -metrics-out metrics.csv
 //	sesa-sim -list
+//	sesa-sim -list-models
 package main
 
 import (
@@ -25,7 +26,7 @@ import (
 
 func main() {
 	bench := flag.String("bench", "barnes", "benchmark name (see -list)")
-	modelName := flag.String("model", "all", "machine model or 'all'")
+	modelName := flag.String("model", "all", "machine model, comma list of models, or 'all'")
 	n := flag.Int("n", 100_000, "instructions per core")
 	seed := flag.Uint64("seed", 42, "trace generation seed")
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel simulation workers (1 = serial)")
@@ -41,8 +42,14 @@ func main() {
 	histFormat := flag.String("hist-format", "", "histogram format, text or json; setting it (or -hist-out) enables histogram collection")
 	statusAddr := flag.String("status-addr", "", "serve live sweep status, expvar and pprof on this address (e.g. localhost:6060)")
 	stepModeName := flag.String("step-mode", "skip", "clock stepper: skip (two-level, default) or naive (tick every cycle); outputs are byte-identical")
+	listModels := flag.Bool("list-models", false, "print the machine-model roster and exit")
 	logFlags := config.TelemetryFlags()
 	flag.Parse()
+
+	if *listModels {
+		fmt.Print(sesa.ListModels())
+		return
+	}
 	wantHists := *histOut != "" || *histFormat != ""
 
 	logger, err := telemetry.NewLogger(os.Stderr, logFlags.LogLevel, logFlags.LogFormat)
@@ -87,18 +94,13 @@ func main() {
 		return
 	}
 
-	models := sesa.AllModels()
-	if *modelName != "all" {
-		models = nil
-		for _, m := range sesa.AllModels() {
-			if m.String() == *modelName {
-				models = []sesa.Model{m}
-			}
+	models, err := sesa.ParseModels(*modelName)
+	if err != nil || len(models) == 0 {
+		if err == nil {
+			err = fmt.Errorf("-model %q selects no models", *modelName)
 		}
-		if models == nil {
-			fmt.Fprintf(os.Stderr, "unknown model %q\n", *modelName)
-			os.Exit(1)
-		}
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 
 	if *dump != "" {

@@ -4,8 +4,8 @@
 // reads the payloads. Fences mark the publication points, as portable code
 // on either memory model would.
 //
-// The example shows that the program's final state is identical under all
-// five machines (the models differ in performance, not correctness for
+// The example shows that the program's final state is identical under every
+// registered machine (the models differ in performance, not correctness for
 // properly synchronized code) and compares their cycle counts.
 //
 //	go run ./examples/msgqueue
@@ -93,6 +93,6 @@ func main() {
 			model, sys.Cycles(), float64(sys.Cycles())/float64(baseline),
 			st.SLFLoads, st.GateCloses, st.Squashes)
 	}
-	fmt.Println("\nAll five machines produce the identical memory image; they differ")
+	fmt.Println("\nAll machines produce the identical memory image; they differ")
 	fmt.Println("only in how much the store-atomicity guarantee costs.")
 }

@@ -1,7 +1,6 @@
 package sesa
 
 import (
-	"sesa/internal/config"
 	"sesa/internal/fuzz"
 )
 
@@ -70,7 +69,3 @@ func FuzzMany(baseSeed uint64, count int, b FuzzBudget, opt FuzzOptions, jobs in
 func MinimizeLitmus(p CheckerProgram, failing func(CheckerProgram) bool) CheckerProgram {
 	return fuzz.Minimize(p, fuzz.Failing(failing))
 }
-
-// ModelNames lists the five machine-model names in the paper's order — the
-// spellings ParseModel accepts.
-func ModelNames() []string { return config.ModelNames() }

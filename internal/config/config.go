@@ -11,10 +11,15 @@ import (
 	"strings"
 )
 
-// Model selects the consistency-model implementation a core runs.
+// Model selects the consistency-model implementation a core runs. The
+// value is an index into the machine registry below; core maps it to the
+// policy implementation that realizes the machine's decisions.
 type Model int
 
-// The five machines compared in Section VI of the paper.
+// The machine roster: the five machines compared in Section VI of the
+// paper, followed by the machines built on the policy API from related
+// work. Registry order is presentation order everywhere (sweeps, flags,
+// litmus tables), so new machines append.
 const (
 	// X86 is the non-store-atomic x86-TSO baseline: store-to-load
 	// forwarding from in-limbo stores is unrestricted and SLF loads retire
@@ -36,53 +41,172 @@ const (
 	// locks the gate with the key of its forwarding store, and the gate
 	// reopens as soon as that particular store writes to the L1.
 	SLFSoSKey370
+	// Louvre370 layers Louvre-style versioned ordering (Kumar et al.) on
+	// the keyed machine: loads issue speculatively past in-flight fences
+	// instead of stalling, remain squashable by invalidations until the
+	// fence retires, and in-order retirement discharges the version check.
+	Louvre370
+	// RCP370 rides a reversible-coherence idea (Wu et al.) on the keyed
+	// machine: loads that are speculative at issue time read the hierarchy
+	// invisibly — no directory, cache or LRU state changes — and are
+	// value-validated against memory at retirement, squashing on mismatch.
+	RCP370
 )
 
-var modelNames = [...]string{
-	X86:          "x86",
-	NoSpec370:    "370-NoSpec",
-	SLFSpec370:   "370-SLFSpec",
-	SLFSoS370:    "370-SLFSoS",
-	SLFSoSKey370: "370-SLFSoS-key",
+// ModelInfo describes one registered machine. The registry drives every
+// model-facing API surface — String, StoreAtomic, Speculative, AllModels,
+// ModelNames, ParseModel and Config.Validate — so registering a machine
+// here (plus its core policy) is the whole integration.
+type ModelInfo struct {
+	// Name is the canonical spelling, as printed by Model.String and
+	// accepted by ParseModel.
+	Name string
+	// StoreAtomic reports whether the machine guarantees store atomicity.
+	StoreAtomic bool
+	// Speculative reports whether the machine uses speculation to enforce
+	// store atomicity (as opposed to blanket enforcement or none).
+	Speculative bool
+	// Paper marks the five machines evaluated in the source paper; the
+	// refactor-equivalence goldens pin exactly these.
+	Paper bool
+	// Doc is a one-line policy summary for -list-models and docs.
+	Doc string
 }
 
-// String returns the paper's name for the model.
+var registry = [...]ModelInfo{
+	X86: {Name: "x86", StoreAtomic: false, Speculative: false, Paper: true,
+		Doc: "non-store-atomic x86-TSO baseline: unrestricted SLF, free retirement"},
+	NoSpec370: {Name: "370-NoSpec", StoreAtomic: true, Speculative: false, Paper: true,
+		Doc: "blanket enforcement: loads matching an SQ/SB store wait for its L1 write"},
+	SLFSpec370: {Name: "370-SLFSpec", StoreAtomic: true, Speculative: true, Paper: true,
+		Doc: "SC-like speculation: SLF loads perform early but retire only after SB drain"},
+	SLFSoS370: {Name: "370-SLFSoS", StoreAtomic: true, Speculative: true, Paper: true,
+		Doc: "source-of-speculation: retiring SLF load closes the gate until the SB drains"},
+	SLFSoSKey370: {Name: "370-SLFSoS-key", StoreAtomic: true, Speculative: true, Paper: true,
+		Doc: "keyed gate: reopens as soon as the forwarding store writes to the L1"},
+	Louvre370: {Name: "370-Louvre", StoreAtomic: true, Speculative: true, Paper: false,
+		Doc: "versioned ordering: loads issue past in-flight fences, squashable until the fence retires"},
+	RCP370: {Name: "370-RCP", StoreAtomic: true, Speculative: true, Paper: false,
+		Doc: "reversible coherence: speculative loads read invisibly, value-validated at retirement"},
+}
+
+// Info returns the registry entry for the model and whether it exists.
+func (m Model) Info() (ModelInfo, bool) {
+	if int(m) >= 0 && int(m) < len(registry) {
+		return registry[m], true
+	}
+	return ModelInfo{}, false
+}
+
+// String returns the machine's canonical name.
 func (m Model) String() string {
-	if int(m) >= 0 && int(m) < len(modelNames) {
-		return modelNames[m]
+	if info, ok := m.Info(); ok {
+		return info.Name
 	}
 	return fmt.Sprintf("model(%d)", int(m))
 }
 
 // StoreAtomic reports whether the model guarantees store atomicity (MCA).
-func (m Model) StoreAtomic() bool { return m != X86 }
+func (m Model) StoreAtomic() bool {
+	info, _ := m.Info()
+	return info.StoreAtomic
+}
 
 // Speculative reports whether the model uses speculation to enforce store
 // atomicity (as opposed to blanket enforcement or no enforcement).
 func (m Model) Speculative() bool {
-	return m == SLFSpec370 || m == SLFSoS370 || m == SLFSoSKey370
+	info, _ := m.Info()
+	return info.Speculative
 }
 
-// AllModels lists the five evaluated machines in the paper's order.
+// AllModels lists every registered machine in registry order.
 func AllModels() []Model {
-	return []Model{X86, NoSpec370, SLFSpec370, SLFSoS370, SLFSoSKey370}
+	out := make([]Model, len(registry))
+	for i := range registry {
+		out[i] = Model(i)
+	}
+	return out
 }
 
-// ModelNames lists the five model names in the paper's order — the
+// PaperModels lists the five machines evaluated in the source paper, in
+// the paper's order — the set the hot-path and policy equivalence goldens
+// pin byte-identically across refactors.
+func PaperModels() []Model {
+	var out []Model
+	for i := range registry {
+		if registry[i].Paper {
+			out = append(out, Model(i))
+		}
+	}
+	return out
+}
+
+// ModelNames lists every registered machine name in registry order — the
 // spellings ParseModel accepts.
 func ModelNames() []string {
-	return append([]string(nil), modelNames[:]...)
+	out := make([]string, len(registry))
+	for i := range registry {
+		out[i] = registry[i].Name
+	}
+	return out
 }
 
 // ParseModel parses a model name as printed by Model.String ("x86",
 // "370-NoSpec", ...); the error for an unknown name lists every valid one.
 func ParseModel(s string) (Model, error) {
-	for m, name := range modelNames {
-		if s == name {
+	for m := range registry {
+		if s == registry[m].Name {
 			return Model(m), nil
 		}
 	}
-	return 0, fmt.Errorf("config: unknown model %q (want %s)", s, strings.Join(modelNames[:], ", "))
+	return 0, fmt.Errorf("config: unknown model %q (want %s)", s, strings.Join(ModelNames(), ", "))
+}
+
+// ParseModels parses a -models flag value: "all" selects every registered
+// machine, "none" (or empty) selects none, and otherwise a comma-separated
+// list of machine names is parsed with ParseModel; unknown names are
+// rejected with the valid list.
+func ParseModels(spec string) ([]Model, error) {
+	switch spec {
+	case "all":
+		return AllModels(), nil
+	case "none", "":
+		return nil, nil
+	}
+	var models []Model
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		m, err := ParseModel(name)
+		if err != nil {
+			return nil, fmt.Errorf("config: unknown model %q (want all, none, or a comma list of %s)",
+				name, strings.Join(ModelNames(), ", "))
+		}
+		models = append(models, m)
+	}
+	if len(models) == 0 {
+		return nil, fmt.Errorf("config: model list %q selects no models", spec)
+	}
+	return models, nil
+}
+
+// ListModels renders the registered machine roster, one "name  summary"
+// line per machine in registry order — the shared body of the -list-models
+// flag on every model-taking binary.
+func ListModels() string {
+	width := 0
+	for i := range registry {
+		if len(registry[i].Name) > width {
+			width = len(registry[i].Name)
+		}
+	}
+	var b strings.Builder
+	for i := range registry {
+		fmt.Fprintf(&b, "%-*s  %s\n", width, registry[i].Name, registry[i].Doc)
+	}
+	return b.String()
 }
 
 // StepMode selects how the machine advances its simulation clock.
@@ -263,8 +387,8 @@ func (c Config) Validate() error {
 	if c.Cores <= 0 {
 		return fmt.Errorf("config: cores must be positive, got %d", c.Cores)
 	}
-	if c.Model < X86 || c.Model > SLFSoSKey370 {
-		return fmt.Errorf("config: unknown model %d", int(c.Model))
+	if _, ok := c.Model.Info(); !ok {
+		return fmt.Errorf("config: unknown model %d (want %s)", int(c.Model), strings.Join(ModelNames(), ", "))
 	}
 	if c.Core.Width <= 0 || c.Core.ROBEntries <= 0 || c.Core.LQEntries <= 0 || c.Core.SQEntries <= 0 {
 		return fmt.Errorf("config: core structure sizes must be positive: %+v", c.Core)

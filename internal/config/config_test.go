@@ -59,6 +59,8 @@ func TestModelNamesAndPredicates(t *testing.T) {
 		SLFSpec370:   "370-SLFSpec",
 		SLFSoS370:    "370-SLFSoS",
 		SLFSoSKey370: "370-SLFSoS-key",
+		Louvre370:    "370-Louvre",
+		RCP370:       "370-RCP",
 	}
 	for m, name := range want {
 		if m.String() != name {
@@ -68,19 +70,79 @@ func TestModelNamesAndPredicates(t *testing.T) {
 	if X86.StoreAtomic() {
 		t.Error("x86 is not store-atomic")
 	}
-	for _, m := range []Model{NoSpec370, SLFSpec370, SLFSoS370, SLFSoSKey370} {
-		if !m.StoreAtomic() {
+	for _, m := range AllModels() {
+		if m != X86 && !m.StoreAtomic() {
 			t.Errorf("%s should be store-atomic", m)
 		}
 	}
 	if NoSpec370.Speculative() || X86.Speculative() {
 		t.Error("speculation misattributed")
 	}
-	if !SLFSoSKey370.Speculative() {
-		t.Error("SLFSoS-key is speculative")
+	for _, m := range []Model{SLFSoSKey370, Louvre370, RCP370} {
+		if !m.Speculative() {
+			t.Errorf("%s is speculative", m)
+		}
 	}
-	if len(AllModels()) != 5 {
-		t.Error("five models expected")
+}
+
+// TestRegistryDrivenRoster pins the roster APIs to the registry itself, not
+// to a hard-coded size: adding a machine must grow every roster-derived
+// surface in lockstep (the old `len(AllModels()) != 5` assertion silently
+// under-covered model-loop tests when the roster grew).
+func TestRegistryDrivenRoster(t *testing.T) {
+	all, names := AllModels(), ModelNames()
+	if len(all) != len(registry) || len(names) != len(registry) {
+		t.Fatalf("AllModels/ModelNames = %d/%d entries, registry has %d",
+			len(all), len(names), len(registry))
+	}
+	for i, m := range all {
+		if int(m) != i {
+			t.Errorf("AllModels()[%d] = %v, want registry order", i, m)
+		}
+		info, ok := m.Info()
+		if !ok {
+			t.Fatalf("%v has no registry entry", m)
+		}
+		if info.Name != names[i] || m.String() != names[i] {
+			t.Errorf("%v: name %q / String %q / ModelNames %q disagree", m, info.Name, m, names[i])
+		}
+		if info.Doc == "" {
+			t.Errorf("%v: registry entry has no doc line", m)
+		}
+		got, err := ParseModel(names[i])
+		if err != nil || got != m {
+			t.Errorf("ParseModel(%q) = %v, %v; want %v", names[i], got, err, m)
+		}
+	}
+	paper := PaperModels()
+	if len(paper) != 5 {
+		t.Fatalf("PaperModels() = %d entries, the paper evaluates 5", len(paper))
+	}
+	for i, m := range []Model{X86, NoSpec370, SLFSpec370, SLFSoS370, SLFSoSKey370} {
+		if paper[i] != m {
+			t.Errorf("PaperModels()[%d] = %v, want %v", i, paper[i], m)
+		}
+	}
+}
+
+func TestParseModels(t *testing.T) {
+	if ms, err := ParseModels("all"); err != nil || len(ms) != len(AllModels()) {
+		t.Errorf(`ParseModels("all") = %v, %v`, ms, err)
+	}
+	for _, spec := range []string{"none", ""} {
+		if ms, err := ParseModels(spec); err != nil || ms != nil {
+			t.Errorf("ParseModels(%q) = %v, %v; want nil, nil", spec, ms, err)
+		}
+	}
+	ms, err := ParseModels(" x86 , 370-RCP ")
+	if err != nil || len(ms) != 2 || ms[0] != X86 || ms[1] != RCP370 {
+		t.Errorf("comma list = %v, %v", ms, err)
+	}
+	if _, err := ParseModels("x86,bogus"); err == nil || !strings.Contains(err.Error(), "370-Louvre") {
+		t.Errorf("unknown name should list valid models, got %v", err)
+	}
+	if _, err := ParseModels(" , "); err == nil {
+		t.Error("blank list should be rejected")
 	}
 }
 
@@ -104,6 +166,15 @@ func TestValidateRejectsBadConfigs(t *testing.T) {
 		if err := c.Validate(); err == nil {
 			t.Errorf("%s: expected validation error", m.name)
 		}
+	}
+
+	// The unknown-model error is registry-driven and lists the valid
+	// names, like ParseModel's.
+	c := Default(X86)
+	c.Model = Model(99)
+	err := c.Validate()
+	if err == nil || !strings.Contains(err.Error(), "370-SLFSoS-key") || !strings.Contains(err.Error(), "370-RCP") {
+		t.Errorf("unknown-model error should list valid names, got %v", err)
 	}
 }
 

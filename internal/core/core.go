@@ -20,11 +20,13 @@ const issueWidth = 8
 // Core is one out-of-order core. It is driven by Tick, once per cycle,
 // after the simulator has delivered the cycle's memory-system events.
 type Core struct {
-	id    int
-	cfg   config.Core
-	model config.Model
-	hier  *mem.Hierarchy
-	st    *stats.Core
+	id  int
+	cfg config.Core
+	// policy is the machine's consistency policy — every decision the
+	// paper varies per machine is a method on it (see policy.go).
+	policy Policy
+	hier   *mem.Hierarchy
+	st     *stats.Core
 
 	bp *predictor.TAGE
 	ss *predictor.StoreSet
@@ -122,14 +124,14 @@ type tickDelta struct {
 // hierarchy so that remote invalidations and local evictions snoop the LQ.
 func New(id int, cfg config.Config, hier *mem.Hierarchy, st *stats.Core) *Core {
 	c := &Core{
-		id:    id,
-		cfg:   cfg.Core,
-		model: cfg.Model,
-		hier:  hier,
-		st:    st,
-		bp:    predictor.NewTAGE(),
-		ss:    predictor.NewStoreSet(),
-		l1Lat: cfg.Mem.L1D.HitCycles,
+		id:     id,
+		cfg:    cfg.Core,
+		policy: policyFor(cfg.Model),
+		hier:   hier,
+		st:     st,
+		bp:     predictor.NewTAGE(),
+		ss:     predictor.NewStoreSet(),
+		l1Lat:  cfg.Mem.L1D.HitCycles,
 		// Arena bound: the ROB holds at most ROBEntries live entries and
 		// the SB at most SQEntries retired stores no longer in the ROB.
 		ar:  newArena(cfg.Core.ROBEntries + cfg.Core.SQEntries),
@@ -361,43 +363,11 @@ func (c *Core) retire(now uint64) {
 		if e.inst.Op == isa.OpFence && c.sq.anyOlderUnwritten(&c.ar, e.dynSeq) {
 			return
 		}
-		if e.isLoad() && c.loadRetireBlocked(e, now) {
+		if e.isLoad() && c.policy.LoadRetireBlocked(c, i, e, now) {
 			return
 		}
 		c.doRetire(i, e, now)
 	}
-}
-
-// loadRetireBlocked applies the per-model retirement policy to the done
-// load at the ROB head and accounts gate stalls.
-func (c *Core) loadRetireBlocked(e *entry, now uint64) bool {
-	switch c.model {
-	case config.SLFSoS370, config.SLFSoSKey370:
-		if c.gate.Closed() {
-			if !e.gateStalled {
-				e.gateStalled = true
-				c.st.GateStalls++
-				c.progressed = true
-			}
-			c.st.GateStallCycles++
-			c.delta.gateStall = 1
-			return true
-		}
-	case config.SLFSpec370:
-		// SC-like speculation: the SLF load itself is speculative and
-		// cannot retire until the store buffer empties.
-		if e.slf && c.sq.anyOlderUnwritten(&c.ar, e.dynSeq) {
-			if !e.gateStalled {
-				e.gateStalled = true
-				c.st.SLFSpecRetWaits++
-				c.progressed = true
-			}
-			c.st.GateStallCycles++
-			c.delta.gateStall = 1
-			return true
-		}
-	}
-	return false
 }
 
 func (c *Core) doRetire(i int32, e *entry, now uint64) {
@@ -430,10 +400,10 @@ func (c *Core) doRetire(i int32, e *entry, now uint64) {
 		// it (Fig. 8 step b). The presence check is the direct
 		// slot+sorting-bit compare; a live forwarding store is by
 		// construction not yet written to the L1.
-		if (c.model == config.SLFSoS370 || c.model == config.SLFSoSKey370) &&
+		if c.policy.ClosesGate() &&
 			e.slf && c.sq.present(&c.ar, e.slfKey) && c.ar.live(e.slfStore) {
 			gk := obs.KeyNone
-			if c.model == config.SLFSoSKey370 {
+			if c.policy.KeyedGate() {
 				c.gate.CloseKeyed(e.slfKey)
 				gk = obsKey(e.slfKey)
 			} else {
@@ -552,7 +522,7 @@ func (c *Core) storeWrote(r entryRef, when uint64) {
 		}
 	}
 	// The keyless SLFSoS variant reopens only when the SB drains.
-	if c.model == config.SLFSoS370 && !c.sq.anyRetiredUnwritten(&c.ar) {
+	if c.policy.ReopensGateOnSBDrain() && !c.sq.anyRetiredUnwritten(&c.ar) {
 		if c.gate.SBDrained() {
 			c.st.GateReopens++
 			if c.hc != nil {
@@ -770,7 +740,7 @@ func (c *Core) tryIssueLoad(i int32, e *entry, now uint64) bool {
 	if !c.ar.addrKnown(e) {
 		return false
 	}
-	if e.fenceBarrier != nilRef && c.ar.live(e.fenceBarrier) {
+	if e.fenceBarrier != nilRef && c.ar.live(e.fenceBarrier) && !c.policy.SpeculatesPastFences() {
 		return false // serialize loads behind an in-flight fence
 	}
 	if len(c.rmws) > 0 && c.rmwBlocked(e) {
@@ -804,7 +774,7 @@ func (c *Core) tryIssueLoad(i int32, e *entry, now uint64) bool {
 	c.delta.sqSearches++
 	matchIdx, unknownIdx := c.sq.youngestOlderMatch(&c.ar, e)
 
-	if c.model == config.NoSpec370 {
+	if c.policy.BlanketLoadOrdering() {
 		// Blanket enforcement: wait for all older store addresses; on a
 		// match, wait for that store's L1 write (IBM 370, Section II-C).
 		if unknownIdx >= 0 {
@@ -848,6 +818,10 @@ func (c *Core) tryIssueLoad(i int32, e *entry, now uint64) bool {
 		// of SA-speculation for younger loads. The forwarded value and
 		// the store's dynSeq are latched here — both are final — so no
 		// later reader chases the store's (recyclable) slot.
+		if e.fenceBarrier != nilRef && c.ar.live(e.fenceBarrier) {
+			// Forwarding past a live fence: Louvre version speculation.
+			c.st.VersionSpecLoads++
+		}
 		e.slf = true
 		e.slfStore = c.ar.refOf(matchIdx)
 		e.slfStoreSeq = match.dynSeq
@@ -899,6 +873,17 @@ func (c *Core) issueToMemory(i int32, e *entry, now uint64) {
 	c.ar.stat[i] = stIssued
 	c.ar.inflight[i] = true
 	ld := c.ar.refOf(i)
+	if e.fenceBarrier != nilRef && c.ar.live(e.fenceBarrier) {
+		// Only Louvre issues past a live fence; every other machine was
+		// blocked at the top of tryIssueLoad.
+		c.st.VersionSpecLoads++
+	}
+	if c.policy.InvisibleSpeculation() && c.speculativeAtIssue(e) {
+		e.invisible = true
+		c.st.InvisibleLoads++
+		c.hier.LoadInvisible(c.id, e.inst.Addr, e.inst.EffSize(), now, uint64(ld))
+		return
+	}
 	c.hier.Load(c.id, e.inst.Addr, e.inst.EffSize(), now, uint64(ld))
 }
 

@@ -101,9 +101,13 @@ type entry struct {
 	// 370-NoSpec).
 	waitAddr entryRef
 	// fenceBarrier is the youngest older fence at dispatch time; the load
-	// may not issue until it retires (mfence ordering). A stale ref is a
-	// retired fence: no barrier.
+	// may not issue until it retires (mfence ordering; Louvre issues past
+	// it and stays squashable instead). A stale ref is a retired fence:
+	// no barrier.
 	fenceBarrier entryRef
+	// invisible marks a load that performed without touching directory or
+	// cache state (370-RCP); it must value-validate at retirement.
+	invisible bool
 
 	// gateStalled marks that this load has already been counted as a
 	// gate stall (or an SLFSpec retire wait) at the ROB head.

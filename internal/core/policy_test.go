@@ -1,0 +1,71 @@
+package core
+
+import (
+	"testing"
+
+	"sesa/internal/config"
+)
+
+// TestPolicyRosterMatchesRegistry pins the policy table to the config
+// registry: every registered model must resolve to a policy, so a machine
+// added to the registry without a core implementation fails here instead of
+// panicking inside New at first use.
+func TestPolicyRosterMatchesRegistry(t *testing.T) {
+	for _, m := range config.AllModels() {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("policyFor(%s) panicked: %v", m, r)
+				}
+			}()
+			if p := policyFor(m); p == nil {
+				t.Errorf("policyFor(%s) = nil", m)
+			}
+		}()
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("policyFor on an unregistered model should panic")
+		}
+	}()
+	policyFor(config.Model(99))
+}
+
+// TestPolicyPredicates pins each machine's decision profile: the flag set a
+// policy answers is the machine's definition, so a silent change here is a
+// different machine wearing the same name.
+func TestPolicyPredicates(t *testing.T) {
+	cases := []struct {
+		model                                              config.Model
+		closes, keyed, sbDrain, blanket, fences, invisible bool
+	}{
+		{config.X86, false, false, false, false, false, false},
+		{config.NoSpec370, false, false, false, true, false, false},
+		{config.SLFSpec370, false, false, false, false, false, false},
+		{config.SLFSoS370, true, false, true, false, false, false},
+		{config.SLFSoSKey370, true, true, false, false, false, false},
+		{config.Louvre370, true, true, false, false, true, false},
+		{config.RCP370, true, true, false, false, false, true},
+	}
+	for _, tc := range cases {
+		p := policyFor(tc.model)
+		if p.ClosesGate() != tc.closes {
+			t.Errorf("%s: ClosesGate = %v, want %v", tc.model, p.ClosesGate(), tc.closes)
+		}
+		if p.KeyedGate() != tc.keyed {
+			t.Errorf("%s: KeyedGate = %v, want %v", tc.model, p.KeyedGate(), tc.keyed)
+		}
+		if p.ReopensGateOnSBDrain() != tc.sbDrain {
+			t.Errorf("%s: ReopensGateOnSBDrain = %v, want %v", tc.model, p.ReopensGateOnSBDrain(), tc.sbDrain)
+		}
+		if p.BlanketLoadOrdering() != tc.blanket {
+			t.Errorf("%s: BlanketLoadOrdering = %v, want %v", tc.model, p.BlanketLoadOrdering(), tc.blanket)
+		}
+		if p.SpeculatesPastFences() != tc.fences {
+			t.Errorf("%s: SpeculatesPastFences = %v, want %v", tc.model, p.SpeculatesPastFences(), tc.fences)
+		}
+		if p.InvisibleSpeculation() != tc.invisible {
+			t.Errorf("%s: InvisibleSpeculation = %v, want %v", tc.model, p.InvisibleSpeculation(), tc.invisible)
+		}
+	}
+}

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"sesa/internal/config"
 	"sesa/internal/hist"
 	"sesa/internal/isa"
 	"sesa/internal/obs"
@@ -58,22 +57,20 @@ func (c *Core) OnLineRemoved(lineAddr uint64, when uint64, eviction bool) {
 }
 
 // loadSpeculative decides whether the performed load at LQ position k may
-// still be squashed, under the core's consistency model.
+// still be squashed, under the core's consistency policy.
 //
-// All models use in-window load-load speculation: a load that performed
+// All machines use in-window load-load speculation: a load that performed
 // while an older load is unperformed is M-speculative. The chain through
 // older performed-but-speculative loads is implied: if the oldest
 // unperformed load L0 precedes them both, every younger performed load sees
 // L0 as an older unperformed load.
 //
-// The SA-speculation models add the paper's new state:
-//   - 370-SLFSoS / 370-SLFSoS-key: a load is SA-speculative if the retire
-//     gate is closed (it is then younger than the retired SLF load that
-//     closed it) or if an older SLF load in the LQ has a forwarding store
-//     that has not yet written to the L1. The SLF load itself is NOT
-//     speculative (Section IV-A).
-//   - 370-SLFSpec: SC-like speculation where the SLF load itself IS
-//     speculative until every older store has written to the L1.
+// Beyond that baseline the policy decides: Policy.VersionSpeculative adds
+// machine-specific M-speculation sources (Louvre holds loads squashable
+// while their fence barrier is in flight), and Policy.SASpeculative is the
+// machine's store-atomicity speculation state — the SoS family keys it on
+// the retire gate and older SLF loads with unwritten forwarding stores
+// (Section IV-A), SLFSpec on the SLF load itself until the SB drains.
 func (c *Core) loadSpeculative(k int, e *entry) (mspec, sa bool) {
 	// M-speculative: any older unperformed load. This is the baseline
 	// load-load in-window speculation every model (including x86) uses.
@@ -98,31 +95,10 @@ func (c *Core) loadSpeculative(k int, e *entry) (mspec, sa bool) {
 			}
 		}
 	}
-	switch c.model {
-	case config.SLFSoS370, config.SLFSoSKey370:
-		if c.gate.Closed() {
-			sa = true
-			return
-		}
-		for j := 0; j < k; j++ {
-			l := &c.ar.ents[c.lq.at(j).index()]
-			// A live forwarding-store ref is by construction a store
-			// that has not yet written to the L1.
-			if l.slf && c.ar.live(l.slfStore) {
-				sa = true
-				return
-			}
-		}
-	case config.SLFSpec370:
-		for j := 0; j <= k; j++ {
-			li := c.lq.at(j).index()
-			l := &c.ar.ents[li]
-			if l.slf && c.ar.stat[li] >= stDone && c.sq.anyOlderUnwritten(&c.ar, l.dynSeq) {
-				sa = true
-				return
-			}
-		}
+	if !mspec && c.policy.VersionSpeculative(c, e) {
+		mspec = true
 	}
+	sa = c.policy.SASpeculative(c, k, e)
 	return
 }
 

@@ -38,9 +38,12 @@ func (t Test) Allowed(m checker.Model) checker.OutcomeSet {
 }
 
 // CheckerModelFor maps a microarchitectural machine model to the
-// operational model that bounds its observable outcomes.
+// operational model that bounds its observable outcomes, by its registry
+// classification: store-atomic machines (every 370 variant, including the
+// ones added through the policy registry) are bounded by TSO370, the
+// non-store-atomic baseline by x86-TSO.
 func CheckerModelFor(m config.Model) checker.Model {
-	if m == config.X86 {
+	if !m.StoreAtomic() {
 		return checker.X86TSO
 	}
 	return checker.TSO370

@@ -25,6 +25,9 @@ type Stats struct {
 	Prefetches       uint64
 	StoresCompleted  uint64
 	LoadsCompleted   uint64
+	// InvisibleLoads counts LoadInvisible requests: reads served without
+	// any directory, cache array or replacement state change (370-RCP).
+	InvisibleLoads uint64
 }
 
 // Client is the hierarchy's per-core notification surface: the core-side
@@ -394,6 +397,54 @@ func (h *Hierarchy) Load(core int, addr uint64, size uint8, t uint64, ref uint64
 	h.evq.Schedule(sched.Event{Cycle: when, Kind: evLoadDone, Size: size,
 		Core: int32(core), Addr: addr, Ref: ref})
 	h.maybePrefetch(core, addr, t)
+}
+
+// LoadInvisible performs a data read that leaves no trace in the coherence
+// state: the reversible-coherence (370-RCP) path for loads that are still
+// speculative at issue time. The data-available cycle is computed from the
+// same latency model as Load — L1/L2 residence, owner forward, L3 hit, or
+// memory — but nothing is allocated, filled, downgraded, evicted or
+// prefetched, no directory entry records the reader, and the line's busy
+// window is not extended. Because the core never becomes a sharer, a later
+// conflicting store will not invalidate it; the core is responsible for
+// value-validating the load at retirement instead. The client's OnLoadDone
+// runs at the perform cycle with the value read from the memory image at
+// that cycle, exactly as for Load.
+func (h *Hierarchy) LoadInvisible(core int, addr uint64, size uint8, t uint64, ref uint64) {
+	h.advance(t)
+	h.Stats.InvisibleLoads++
+	lineAddr := h.LineAddr(addr)
+	l1lat := uint64(h.cfg.L1D.HitCycles)
+	var when uint64
+	lvl := hist.LoadL3
+	switch {
+	case h.l1[core].Lookup(lineAddr) != Invalid:
+		// Reading a resident copy still defers to any in-flight
+		// transaction on the line (claimLine reads the busy window
+		// without extending it).
+		when, lvl = h.claimLine(lineAddr, t+l1lat), hist.LoadL1
+	case h.l2[core].Lookup(lineAddr) != Invalid:
+		when, lvl = h.claimLine(lineAddr, t+l1lat+uint64(h.cfg.L2.HitCycles)), hist.LoadL2
+	default:
+		req := h.claimLine(lineAddr, t+l1lat+uint64(h.cfg.L2.HitCycles)+h.ctrl())
+		e := h.dir.Lookup(lineAddr)
+		switch {
+		case e != nil && e.owner >= 0 && e.owner != core:
+			// The owner supplies the data covertly: no downgrade, no
+			// writeback, no sharer registration.
+			when, lvl = req+h.ctrl()+h.data(), hist.LoadRemote
+		case e != nil && e.presentL3 && h.l3.Lookup(lineAddr) != Invalid:
+			when = req + uint64(h.cfg.L3.HitCycles) + h.data()
+		default:
+			when, lvl = req+uint64(h.cfg.L3.HitCycles)+uint64(h.cfg.MemCycles)+h.data(), hist.LoadMem
+		}
+	}
+	h.Stats.LoadsCompleted++
+	if hc := h.hists[core]; hc != nil {
+		hc.Observe(lvl, when-t)
+	}
+	h.evq.Schedule(sched.Event{Cycle: when, Kind: evLoadDone, Size: size,
+		Core: int32(core), Addr: addr, Ref: ref})
 }
 
 // loadLine obtains a readable (S/E/M) copy of addr's line for core and

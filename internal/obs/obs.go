@@ -104,15 +104,19 @@ const (
 	CauseInval
 	// CauseEvict: a local capacity eviction (snoop events).
 	CauseEvict
+	// CauseValidation: an invisible speculative load (370-RCP) whose
+	// retire-time value validation against memory failed.
+	CauseValidation
 )
 
 var causeNames = [...]string{
-	CauseNone:     "none",
-	CauseSA:       "SA",
-	CauseMSpec:    "M-spec",
-	CauseStoreSet: "StoreSet",
-	CauseInval:    "inval",
-	CauseEvict:    "evict",
+	CauseNone:       "none",
+	CauseSA:         "SA",
+	CauseMSpec:      "M-spec",
+	CauseStoreSet:   "StoreSet",
+	CauseInval:      "inval",
+	CauseEvict:      "evict",
+	CauseValidation: "validation",
 }
 
 // String names the cause.

@@ -10,12 +10,18 @@ import (
 // benchMachine builds a warm machine on the barnes workload: programs
 // installed, predictors and tables past their cold-start transient.
 func benchMachine(b *testing.B, n int) *Machine {
+	return benchMachineModel(b, n, config.X86)
+}
+
+// benchMachineModel is benchMachine under an arbitrary consistency policy,
+// so the perf-guard can pin the policy indirection itself at 0 allocs/op.
+func benchMachineModel(b *testing.B, n int, model config.Model) *Machine {
 	b.Helper()
 	p, ok := trace.Lookup("barnes")
 	if !ok {
 		b.Fatal("barnes workload missing")
 	}
-	cfg := config.Default(config.X86)
+	cfg := config.Default(model)
 	m, err := New(cfg, "barnes")
 	if err != nil {
 		b.Fatal(err)
@@ -49,6 +55,29 @@ func BenchmarkMachineStepNaive(b *testing.B) {
 			b.StartTimer()
 		}
 		m.Step()
+	}
+}
+
+// BenchmarkMachineStepNaivePolicy runs the same hot loop under the two
+// related-work policies: Louvre's fence bypassing and RCP's invisible
+// speculative loads both sit on the per-cycle path, so the perf-guard pins
+// them at 0 allocs/op too (the regex `MachineStepNaive` matches the
+// sub-benchmarks).
+func BenchmarkMachineStepNaivePolicy(b *testing.B) {
+	for _, model := range []config.Model{config.Louvre370, config.RCP370} {
+		b.Run(model.String(), func(b *testing.B) {
+			m := benchMachineModel(b, 300_000, model)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if m.Done() {
+					b.StopTimer()
+					m = benchMachineModel(b, 300_000, model)
+					b.StartTimer()
+				}
+				m.Step()
+			}
+		})
 	}
 }
 

@@ -103,6 +103,18 @@ type Core struct {
 	// snoops: the key copy rides on this search, which a conventional
 	// core already performs for every load.
 	SQSearches uint64
+
+	// VersionSpecLoads counts loads the 370-Louvre machine issued past a
+	// still-in-flight fence; such loads remain squashable until the fence
+	// retires. InvisibleLoads counts loads the 370-RCP machine issued
+	// without touching directory or cache state; Validations counts their
+	// retire-time value checks and ValidationSquashes the subset that
+	// failed and flushed. All four are zero on the five paper machines, so
+	// they are omitted from JSON and pre-roster goldens stay byte-identical.
+	VersionSpecLoads   uint64 `json:",omitempty"`
+	InvisibleLoads     uint64 `json:",omitempty"`
+	Validations        uint64 `json:",omitempty"`
+	ValidationSquashes uint64 `json:",omitempty"`
 }
 
 // StallPct returns the percentage of cycles stalled with the given cause.
@@ -189,6 +201,10 @@ func (m *Machine) Total() Core {
 		t.LQSnoopHits += c.LQSnoopHits
 		t.EvictionSquashes += c.EvictionSquashes
 		t.SQSearches += c.SQSearches
+		t.VersionSpecLoads += c.VersionSpecLoads
+		t.InvisibleLoads += c.InvisibleLoads
+		t.Validations += c.Validations
+		t.ValidationSquashes += c.ValidationSquashes
 		for s := range t.StallCycles {
 			t.StallCycles[s] += c.StallCycles[s]
 		}

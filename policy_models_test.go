@@ -1,0 +1,80 @@
+package sesa
+
+import "testing"
+
+// runProgram runs one single-core program on a model and returns the
+// machine's aggregate core statistics.
+func runProgram(t *testing.T, m Model, p Program) (CoreStats, MemStats) {
+	t.Helper()
+	sys, err := NewSystem(SkylakeConfig(1, m), "policy-probe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.LoadProgram(0, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	return sys.Stats().Total(), sys.MemoryStats()
+}
+
+// TestLouvreIssuesLoadsPastFences pins the Louvre policy's defining
+// behavior: a load younger than an in-flight fence issues speculatively
+// (counted as a version-speculative load) instead of stalling, while the
+// keyed paper machine keeps the load latched until the fence completes and
+// never takes the versioned path.
+func TestLouvreIssuesLoadsPastFences(t *testing.T) {
+	// The store drains through the SB while the fence waits on it; the
+	// trailing load targets a different line so only the fence can hold it.
+	prog := Program{
+		StoreImm(0x100, 1),
+		Fence(),
+		Load(1, 0x2000),
+	}
+	louvre, _ := runProgram(t, Louvre370, prog)
+	if louvre.VersionSpecLoads == 0 {
+		t.Error("370-Louvre issued no loads past the in-flight fence")
+	}
+	keyed, _ := runProgram(t, SLFSoSKey370, prog)
+	if keyed.VersionSpecLoads != 0 {
+		t.Errorf("370-SLFSoS-key counted %d version-speculative loads, want 0", keyed.VersionSpecLoads)
+	}
+}
+
+// TestRCPInvisibleLoadsAreValidated pins the RCP policy's defining behavior:
+// a load that is speculative at issue (here: younger than a long-latency
+// in-flight load) reads the hierarchy invisibly and is value-validated at
+// retirement. The same program on the keyed machine must leave every RCP
+// counter at zero — that invariant is what keeps the pre-roster goldens
+// byte-identical through the omitempty stats fields.
+func TestRCPInvisibleLoadsAreValidated(t *testing.T) {
+	// The first load misses to memory; the second issues in its shadow.
+	prog := Program{
+		Load(1, 0x4000),
+		Load(2, 0x8000),
+	}
+	rcp, mem := runProgram(t, RCP370, prog)
+	if rcp.InvisibleLoads == 0 {
+		t.Error("370-RCP performed no invisible loads")
+	}
+	if rcp.Validations == 0 {
+		t.Error("370-RCP validated no loads at retirement")
+	}
+	if rcp.Validations < rcp.InvisibleLoads-rcp.Squashes {
+		t.Errorf("validations %d < surviving invisible loads %d",
+			rcp.Validations, rcp.InvisibleLoads-rcp.Squashes)
+	}
+	if mem.InvisibleLoads == 0 {
+		t.Error("hierarchy saw no invisible loads")
+	}
+	// Single core, no remote writers: value validation must never fail.
+	if rcp.ValidationSquashes != 0 {
+		t.Errorf("single-core run squashed %d loads on validation", rcp.ValidationSquashes)
+	}
+
+	keyed, kmem := runProgram(t, SLFSoSKey370, prog)
+	if keyed.InvisibleLoads != 0 || keyed.Validations != 0 || keyed.ValidationSquashes != 0 || kmem.InvisibleLoads != 0 {
+		t.Errorf("keyed machine touched RCP counters: %+v mem=%d", keyed, kmem.InvisibleLoads)
+	}
+}

@@ -40,17 +40,24 @@ import (
 // Model selects the consistency-model implementation (Section V).
 type Model = config.Model
 
-// The five evaluated machines.
+// The machine roster: the paper's five evaluated machines, plus the
+// machines built on the consistency-policy registry from related work.
 const (
 	X86          = config.X86
 	NoSpec370    = config.NoSpec370
 	SLFSpec370   = config.SLFSpec370
 	SLFSoS370    = config.SLFSoS370
 	SLFSoSKey370 = config.SLFSoSKey370
+	Louvre370    = config.Louvre370
+	RCP370       = config.RCP370
 )
 
-// AllModels lists the five machines in the paper's order.
+// AllModels lists every registered machine in registry order.
 func AllModels() []Model { return config.AllModels() }
+
+// PaperModels lists the five machines evaluated in the source paper, in
+// the paper's order.
+func PaperModels() []Model { return config.PaperModels() }
 
 // Config is the machine configuration (Table III).
 type Config = config.Config
@@ -83,6 +90,18 @@ func ParseStepMode(s string) (StepMode, error) { return config.ParseStepMode(s) 
 // ParseModel parses a model name as printed by Model.String ("x86",
 // "370-NoSpec", ...), the inverse used by flags and the sesa-serve job JSON.
 func ParseModel(s string) (Model, error) { return config.ParseModel(s) }
+
+// ParseModels parses a -models flag value: "all", "none" (or empty), or a
+// comma-separated list of machine names.
+func ParseModels(spec string) ([]Model, error) { return config.ParseModels(spec) }
+
+// ModelNames lists every registered machine name in registry order — the
+// spellings ParseModel accepts.
+func ModelNames() []string { return config.ModelNames() }
+
+// ListModels renders the machine roster with one-line policy summaries,
+// the body of the -list-models flag on every model-taking binary.
+func ListModels() string { return config.ListModels() }
 
 // Program is a per-core instruction trace.
 type Program = isa.Program
